@@ -1,0 +1,137 @@
+// Fig. 10 reproduction: memory efficiency of storing the KV cache.
+// Summarization workload, OPT-175B, low arrival rate, 2tracks pods.
+//
+// Paper (SV-B): "HeroServe consistently maintains the lowest memory
+// utilization in both 2tracks and 8tracks scenarios. Its high transmission
+// efficiency results in more frequent KV cache refreshes, reducing memory
+// usage."
+//
+// We run the same trace through all four systems and report the
+// time-averaged and peak KV-cache utilization of the decode cluster.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace hero;
+
+struct Cell {
+  double kv_avg = 0;
+  double kv_peak = 0;
+  double tpot_p90 = 0;
+  std::size_t completed = 0;
+  std::vector<serve::KvSample> timeline;
+};
+
+topo::Graph make_two_tracks() {
+  topo::TracksOptions opts;
+  opts.servers = 12;
+  opts.tracks = 2;
+  opts.servers_per_pod = 6;
+  opts.core_switches = 3;
+  // 4-GPU servers (as on the paper's own testbed): OPT-175B instances must
+  // span servers, which is the regime the paper's evaluation exercises.
+  opts.gpus_per_server = 4;
+  topo::Graph g = topo::make_tracks_cluster(opts);
+  const auto ps = g.add_server("ps");
+  g.add_edge(ps, g.find("p0a0"), topo::LinkKind::kEthernet,
+             100 * units::Gbps);
+  g.add_edge(ps, g.find("p0a1"), topo::LinkKind::kEthernet,
+             100 * units::Gbps);
+  return g;
+}
+
+Cell run_cell(SystemKind kind) {
+  ExperimentConfig cfg;
+  cfg.topology = make_two_tracks();
+  cfg.model = llm::opt_175b();
+  cfg.workload.rate = 0.25;  // scaled counterpart of the paper's 0.07 req/s
+  cfg.workload.count = 30;
+  cfg.workload.lengths = wl::longbench_lengths();
+  cfg.workload.seed = 29;
+  cfg.sla_ttft = 25.0;  // simulation summarization SLA (SV)
+  cfg.sla_tpot = 0.2;
+  cfg.min_p_tens = 8;   // cross-server deployments (SII-B premise)
+  // All systems run the same decode concurrency so the figure isolates how
+  // fast each one drains KV (the paper's mechanism), not how large a batch
+  // its planner dares to admit.
+  cfg.decode_batch_limit = 16;
+
+  const ExperimentResult r = run_experiment(kind, cfg);
+  Cell cell;
+  cell.kv_avg = r.report.kv_utilization_avg;
+  cell.kv_peak = r.report.kv_utilization_peak;
+  cell.tpot_p90 = r.report.tpot.p90();
+  cell.completed = r.report.completed;
+  cell.timeline = r.report.kv_timeline;
+  return cell;
+}
+
+std::map<std::string, Cell> g_cells;
+
+void Fig10_Cell(benchmark::State& state, SystemKind kind) {
+  Cell cell;
+  for (auto _ : state) cell = run_cell(kind);
+  g_cells[to_string(kind)] = cell;
+  state.counters["kv_util_avg"] = cell.kv_avg;
+  state.counters["kv_util_peak"] = cell.kv_peak;
+}
+
+BENCHMARK_CAPTURE(Fig10_Cell, HeroServe, SystemKind::kHeroServe)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(Fig10_Cell, DistServe, SystemKind::kDistServe)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(Fig10_Cell, DsAtp, SystemKind::kDsAtp)->Iterations(1);
+BENCHMARK_CAPTURE(Fig10_Cell, DsSwitchMl, SystemKind::kDsSwitchMl)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  hero::bench::FigureTable table(
+      "Fig. 10: KV-cache memory utilization, summarization, OPT-175B, "
+      "2tracks pods",
+      {"system", "KV util avg", "KV util peak", "TPOT p90 (s)",
+       "completed"});
+  for (SystemKind kind : kAllSystems) {
+    const Cell& c = g_cells[to_string(kind)];
+    table.add_row({to_string(kind), fmt_double(c.kv_avg, 4),
+                   fmt_double(c.kv_peak, 4), fmt_double(c.tpot_p90, 4),
+                   std::to_string(c.completed)});
+  }
+  table.print();
+
+  // The "over time" view of the figure: occupancy sampled on a fixed grid.
+  hero::bench::FigureTable timeline(
+      "KV utilization over time (sampled every 40 s of simulated time)",
+      {"t (s)", "HeroServe", "DistServe", "DS-ATP", "DS-SwitchML"});
+  double horizon = 0;
+  for (SystemKind kind : kAllSystems) {
+    const auto& tl = g_cells[to_string(kind)].timeline;
+    if (!tl.empty()) horizon = std::max(horizon, tl.back().time);
+  }
+  auto at_time = [&](SystemKind kind, double t) {
+    const auto& tl = g_cells[to_string(kind)].timeline;
+    double v = 0;
+    for (const serve::KvSample& s : tl) {
+      if (s.time > t) break;
+      v = s.utilization;
+    }
+    return v;
+  };
+  for (double t = 0; t <= horizon; t += 40.0) {
+    std::vector<std::string> row{fmt_double(t, 0)};
+    for (SystemKind kind : kAllSystems) {
+      row.push_back(fmt_double(at_time(kind, t), 3));
+    }
+    timeline.add_row(row);
+  }
+  timeline.print();
+  std::printf(
+      "paper: HeroServe consistently maintains the lowest memory "
+      "utilization\n");
+  return 0;
+}

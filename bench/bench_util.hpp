@@ -1,0 +1,50 @@
+// Shared helpers for the figure-reproduction benchmark harnesses.
+//
+// Every bench binary follows the same pattern: run the experiment cells
+// through google-benchmark (one benchmark case per cell, pinned to a single
+// iteration — the interesting output is the simulated metrics reported as
+// counters, not wall time), collect the paper-style series, and print the
+// figure's table after the run so EXPERIMENTS.md can quote it directly.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/heroserve.hpp"
+
+namespace hero::bench {
+
+/// Ordered collector for figure rows; printed after RunSpecifiedBenchmarks.
+class FigureTable {
+ public:
+  FigureTable(std::string title, std::vector<std::string> headers)
+      : title_(std::move(title)), headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    Table table(headers_);
+    for (const auto& row : rows_) table.add_row(row);
+    table.print();
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Relative improvement a/b - 1 rendered as "+x.x%".
+[[nodiscard]] inline std::string pct_gain(double a, double b) {
+  if (b <= 0) return "n/a";
+  return fmt_double(100.0 * (a / b - 1.0), 1) + "%";
+}
+
+}  // namespace hero::bench

@@ -1,0 +1,70 @@
+// Chatbot serving scenario (the paper's SV-A testbed experiment, Fig. 7a/b):
+// OPT-66B on the Fig. 6 testbed under a ShareGPT-like interactive workload,
+// SLA 2.5 s TTFT / 0.15 s TPOT.
+//
+// Sweeps the arrival rate for every system and prints the attainment curve,
+// then the per-GPU goodput at the 90% knee — the paper's scalability
+// metric.
+//
+//   ./build/examples/chatbot_serving [requests]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "core/heroserve.hpp"
+
+using namespace hero;
+
+int main(int argc, char** argv) {
+  const std::size_t requests =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 100;
+
+  ExperimentConfig cfg;
+  cfg.topology = topo::make_testbed();
+  cfg.model = llm::opt_66b();
+  cfg.workload.count = requests;
+  cfg.workload.lengths = wl::sharegpt_lengths();
+  cfg.workload.seed = 17;
+  cfg.sla_ttft = 2.5;
+  cfg.sla_tpot = 0.15;
+
+  std::printf(
+      "Chatbot scenario: OPT-66B, ShareGPT-like lengths, SLA 2.5s TTFT / "
+      "0.15s TPOT, %zu requests per point\n\n",
+      requests);
+
+  // Attainment curve across a fixed rate grid.
+  const double rates[] = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  Table curve({"rate (req/s)", "HeroServe", "DistServe", "DS-ATP",
+               "DS-SwitchML"});
+  for (double rate : rates) {
+    std::vector<std::string> row{fmt_double(rate, 1)};
+    for (SystemKind kind : kAllSystems) {
+      cfg.workload.rate = rate;
+      const ExperimentResult r = run_experiment(kind, cfg);
+      row.push_back(r.ok() ? fmt_double(r.report.sla_attainment, 3)
+                           : "plan-fail");
+    }
+    curve.add_row(row);
+  }
+  std::printf("SLA attainment vs arrival rate:\n");
+  curve.print();
+
+  // Knee search (the Fig. 7a metric).
+  Table knee({"system", "max rate @90% (req/s)", "per-GPU goodput",
+              "TTFT p90 (s)", "TPOT p90 (s)"});
+  for (SystemKind kind : kAllSystems) {
+    const RateSearchResult search = find_max_rate(kind, cfg, 0.2, 8.0, 0.9, 7);
+    const auto& rep = search.at_max.report;
+    knee.add_row({to_string(kind), fmt_double(search.max_rate, 2),
+                  fmt_double(rep.gpus_used
+                                 ? search.max_rate / rep.gpus_used
+                                 : 0.0,
+                             4),
+                  fmt_double(rep.ttft.p90(), 2),
+                  fmt_double(rep.tpot.p90(), 4)});
+  }
+  std::printf("\nScalability (90%% SLA attainment knee):\n");
+  knee.print();
+  return 0;
+}

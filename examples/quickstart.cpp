@@ -1,0 +1,59 @@
+// Quickstart: plan and serve a chatbot workload on the paper's testbed.
+//
+// Builds the Fig. 6 testbed (four 4-GPU workers, two programmable
+// switches), plans an OPT-66B deployment with the offline planner, then
+// serves a ShareGPT-like trace under HeroServe and the three baselines,
+// printing TTFT/TPOT/SLA-attainment for each.
+//
+//   ./build/examples/quickstart [rate] [requests]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/heroserve.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hero;
+  const double rate = argc > 1 ? std::atof(argv[1]) : 2.0;
+  const std::size_t requests =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 80;
+
+  ExperimentConfig cfg;
+  cfg.topology = topo::make_testbed();
+  cfg.model = llm::opt_66b();
+  cfg.workload.rate = rate;
+  cfg.workload.count = requests;
+  cfg.workload.lengths = wl::sharegpt_lengths();
+  cfg.workload.seed = 1;
+  cfg.sla_ttft = 2.5;   // chatbot SLA (SV)
+  cfg.sla_tpot = 0.15;
+
+  std::printf("HeroServe quickstart: OPT-66B chatbot on the Fig. 6 testbed\n");
+  std::printf("rate = %.2f req/s, %zu requests\n\n", rate, requests);
+
+  Table table({"system", "plan (TPxPP pre|dec)", "TTFT p90 (s)",
+               "TPOT p90 (s)", "SLA att.", "req/s", "KV util avg"});
+  for (SystemKind kind : kAllSystems) {
+    const ExperimentResult r = run_experiment(kind, cfg);
+    if (!r.ok()) {
+      table.add_row({to_string(kind), "infeasible: " +
+                                          r.plan.infeasible_reason});
+      continue;
+    }
+    const auto& p = r.plan;
+    table.add_row(
+        {to_string(kind),
+         std::to_string(p.prefill.parallel.p_tens) + "x" +
+             std::to_string(p.prefill.parallel.p_pipe) + " | " +
+             std::to_string(p.decode.parallel.p_tens) + "x" +
+             std::to_string(p.decode.parallel.p_pipe),
+         fmt_double(r.report.ttft.p90(), 3),
+         fmt_double(r.report.tpot.p90(), 4),
+         fmt_double(r.report.sla_attainment, 3),
+         fmt_double(r.report.requests_per_second, 2),
+         fmt_double(r.report.kv_utilization_avg, 3)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "common/fixed_point.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hero {
+
+std::int32_t to_fixed(double value, FixedPointFormat fmt) {
+  const double scaled = std::nearbyint(value * fmt.scale());
+  if (scaled >= static_cast<double>(std::numeric_limits<std::int32_t>::max()))
+    return std::numeric_limits<std::int32_t>::max();
+  if (scaled <= static_cast<double>(std::numeric_limits<std::int32_t>::min()))
+    return std::numeric_limits<std::int32_t>::min();
+  return static_cast<std::int32_t>(scaled);
+}
+
+double from_fixed(std::int32_t value, FixedPointFormat fmt) {
+  return static_cast<double>(value) / fmt.scale();
+}
+
+std::int32_t saturating_add(std::int32_t a, std::int32_t b) {
+  const std::int64_t sum = static_cast<std::int64_t>(a) + b;
+  if (sum > std::numeric_limits<std::int32_t>::max())
+    return std::numeric_limits<std::int32_t>::max();
+  if (sum < std::numeric_limits<std::int32_t>::min())
+    return std::numeric_limits<std::int32_t>::min();
+  return static_cast<std::int32_t>(sum);
+}
+
+std::vector<std::int32_t> encode_vector(std::span<const double> values,
+                                        FixedPointFormat fmt) {
+  std::vector<std::int32_t> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(to_fixed(v, fmt));
+  return out;
+}
+
+std::vector<double> decode_vector(std::span<const std::int32_t> values,
+                                  FixedPointFormat fmt) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (std::int32_t v : values) out.push_back(from_fixed(v, fmt));
+  return out;
+}
+
+void aggregate_into(std::span<std::int32_t> acc,
+                    std::span<const std::int32_t> contribution) {
+  if (acc.size() != contribution.size()) {
+    throw std::invalid_argument("aggregate_into: size mismatch");
+  }
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    acc[i] = saturating_add(acc[i], contribution[i]);
+  }
+}
+
+}  // namespace hero

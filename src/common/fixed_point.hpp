@@ -1,0 +1,48 @@
+// Fixed-point arithmetic as performed by the programmable-switch data plane.
+//
+// Tofino-class switches aggregate integers, not floats (paper SIV: "whose
+// elements are represented as fixed-point integers"). SwitchML-style INA
+// scales each float by 2^frac_bits on the worker, aggregates int32 (here with
+// saturation, mirroring the hardware's saturating ALU), and scales back on
+// distribution. This module implements that conversion plus saturating
+// vector aggregation so the switch simulator reproduces the precision and
+// overflow behaviour of the real data plane.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hero {
+
+struct FixedPointFormat {
+  int frac_bits = 16;  ///< SwitchML default scaling of 2^16
+
+  [[nodiscard]] double scale() const {
+    return static_cast<double>(std::int64_t{1} << frac_bits);
+  }
+};
+
+/// Encode a float into the switch's fixed-point representation
+/// (round-to-nearest, saturating at int32 range).
+[[nodiscard]] std::int32_t to_fixed(double value, FixedPointFormat fmt);
+
+/// Decode back to float.
+[[nodiscard]] double from_fixed(std::int32_t value, FixedPointFormat fmt);
+
+/// Saturating int32 add — the data-plane ALU does not wrap.
+[[nodiscard]] std::int32_t saturating_add(std::int32_t a, std::int32_t b);
+
+/// Encode a vector.
+[[nodiscard]] std::vector<std::int32_t> encode_vector(
+    std::span<const double> values, FixedPointFormat fmt);
+
+/// Decode a vector.
+[[nodiscard]] std::vector<double> decode_vector(
+    std::span<const std::int32_t> values, FixedPointFormat fmt);
+
+/// acc[i] <- saturating_add(acc[i], contribution[i]); sizes must match.
+void aggregate_into(std::span<std::int32_t> acc,
+                    std::span<const std::int32_t> contribution);
+
+}  // namespace hero

@@ -1,0 +1,59 @@
+// Minimal `{}`-placeholder string formatting (libstdc++ 12 has no <format>).
+//
+// Supports positional-free `{}` placeholders only; each argument is rendered
+// with operator<< . Literal braces are written as `{{` / `}}`.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hero {
+
+namespace detail {
+
+inline void fmt_append(std::ostringstream& os, std::string_view& rest) {
+  os << rest;
+  rest = {};
+}
+
+template <typename Arg, typename... Args>
+void fmt_append(std::ostringstream& os, std::string_view& rest, Arg&& arg,
+                Args&&... args) {
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == '{' && i + 1 < rest.size() && rest[i + 1] == '{') {
+      os << rest.substr(0, i) << '{';
+      rest.remove_prefix(i + 2);
+      fmt_append(os, rest, std::forward<Arg>(arg), std::forward<Args>(args)...);
+      return;
+    }
+    if (rest[i] == '}' && i + 1 < rest.size() && rest[i + 1] == '}') {
+      os << rest.substr(0, i) << '}';
+      rest.remove_prefix(i + 2);
+      fmt_append(os, rest, std::forward<Arg>(arg), std::forward<Args>(args)...);
+      return;
+    }
+    if (rest[i] == '{' && i + 1 < rest.size() && rest[i + 1] == '}') {
+      os << rest.substr(0, i) << std::forward<Arg>(arg);
+      rest.remove_prefix(i + 2);
+      fmt_append(os, rest, std::forward<Args>(args)...);
+      return;
+    }
+  }
+  // No placeholder left; extra arguments are dropped.
+  os << rest;
+  rest = {};
+}
+
+}  // namespace detail
+
+/// Format `fmt` replacing each `{}` with the next argument (via operator<<).
+template <typename... Args>
+[[nodiscard]] std::string strfmt(std::string_view fmt, Args&&... args) {
+  std::ostringstream os;
+  std::string_view rest = fmt;
+  detail::fmt_append(os, rest, std::forward<Args>(args)...);
+  return os.str();
+}
+
+}  // namespace hero

@@ -1,0 +1,42 @@
+// Minimal leveled logger. Defaults to warnings-only so simulations stay
+// quiet; examples raise the level to narrate what the system is doing.
+#pragma once
+
+#include <string_view>
+
+#include "common/format.hpp"
+
+namespace hero::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_level(Level level);
+[[nodiscard]] Level level();
+
+void write(Level level, std::string_view message);
+
+template <typename... Args>
+void debug(std::string_view fmt, Args&&... args) {
+  if (level() <= Level::kDebug)
+    write(Level::kDebug, strfmt(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void info(std::string_view fmt, Args&&... args) {
+  if (level() <= Level::kInfo)
+    write(Level::kInfo, strfmt(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void warn(std::string_view fmt, Args&&... args) {
+  if (level() <= Level::kWarn)
+    write(Level::kWarn, strfmt(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void error(std::string_view fmt, Args&&... args) {
+  if (level() <= Level::kError)
+    write(Level::kError, strfmt(fmt, std::forward<Args>(args)...));
+}
+
+}  // namespace hero::log

@@ -1,0 +1,70 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Every stochastic component in HeroServe (arrival processes, trace length
+// sampling, planner perturbation) takes an explicit Rng so experiments are
+// replayable from a single seed. The generator is xoshiro256** — fast, high
+// quality, and fully specified here so results do not depend on the standard
+// library's unspecified distribution implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hero {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Derive an independent stream (for module-local generators).
+  [[nodiscard]] Rng fork();
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Exponential with the given rate (mean 1/rate). Used for Poisson
+  /// inter-arrival gaps.
+  double exponential(double rate);
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Lognormal parameterized by the *underlying* normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Sample an index from unnormalized weights (empty -> 0).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_int(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace hero

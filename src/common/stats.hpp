@@ -1,0 +1,142 @@
+// Statistics helpers shared by the simulator, the online scheduler, and the
+// benchmark harnesses: streaming summaries, percentiles, exponentially
+// weighted moving averages ("hardware counters"), time-weighted averages for
+// utilization accounting, and fixed-width histograms.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hero {
+
+/// Streaming mean/variance/min/max (Welford). O(1) memory.
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentile over a stored sample set (linear interpolation between
+/// order statistics). Used for TTFT/TPOT distributions, which are small
+/// enough (one value per request) to keep in memory.
+class Percentiles {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  /// q in [0, 1]; returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double p90() const { return quantile(0.90); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double mean() const;
+  /// Fraction of samples <= threshold (SLA attainment).
+  [[nodiscard]] double fraction_below(double threshold) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Exponentially weighted moving average with an explicit smoothing factor,
+/// mirroring the paper's Eq. (18) update style: v <- (1-gamma)*v + gamma*x.
+class Ewma {
+ public:
+  explicit Ewma(double gamma, double initial = 0.0)
+      : gamma_(gamma), value_(initial) {}
+
+  void observe(double x);
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double gamma() const { return gamma_; }
+  [[nodiscard]] bool seeded() const { return seeded_; }
+
+ private:
+  double gamma_;
+  double value_;
+  bool seeded_ = false;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. link
+/// utilization or KV-cache occupancy over simulated time.
+class TimeWeighted {
+ public:
+  /// Record that the signal had `value` from the previous observation time
+  /// up to `now`, and takes a (possibly) new value afterwards.
+  void observe(Time now, double value);
+
+  [[nodiscard]] double average() const;
+  [[nodiscard]] double peak() const { return peak_; }
+  [[nodiscard]] double current() const { return current_; }
+  [[nodiscard]] Time duration() const { return last_time_ - first_time_; }
+
+ private:
+  bool started_ = false;
+  Time first_time_ = 0.0;
+  Time last_time_ = 0.0;
+  double current_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double peak_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bucket) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bucket_lo(std::size_t bucket) const;
+  [[nodiscard]] double bucket_hi(std::size_t bucket) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Simple windowed moving average used by the workload estimator
+/// (paper SIII-B: "apply a moving average method to dynamically update
+/// K_in and K_out").
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window);
+
+  void add(double x);
+  [[nodiscard]] double value() const;
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+ private:
+  std::size_t window_;
+  std::size_t next_ = 0;
+  std::vector<double> values_;
+  double sum_ = 0.0;
+};
+
+}  // namespace hero

@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hero {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_values(const std::string& label,
+                           const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt_double(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      line += ' ';
+      line += cell;
+      line.append(widths[c] - cell.size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string sep = "+";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    sep.append(widths[c] + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+void Table::print() const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return std::string(buf);
+}
+
+}  // namespace hero

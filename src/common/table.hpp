@@ -1,0 +1,31 @@
+// ASCII table rendering used by benches/examples to print paper-style rows
+// ("Fig. 7(a): per-GPU goodput by system", etc.) in a readable aligned form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hero {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: format doubles with the given precision.
+  void add_row_values(const std::string& label,
+                      const std::vector<double>& values, int precision = 3);
+
+  [[nodiscard]] std::string render() const;
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+[[nodiscard]] std::string fmt_double(double value, int precision = 3);
+
+}  // namespace hero

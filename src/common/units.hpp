@@ -1,0 +1,52 @@
+// Unit conventions used throughout HeroServe.
+//
+// All internal quantities use SI base units stored in double:
+//   time       seconds
+//   data       bytes
+//   bandwidth  bytes per second
+//
+// The helpers below exist so call sites can state their units explicitly
+// (`100.0 * units::Gbps`, `4 * units::MiB`) instead of sprinkling magic
+// conversion factors.
+#pragma once
+
+namespace hero {
+
+using Time = double;       ///< seconds
+using Bytes = double;      ///< bytes (double: fluid-flow model splits bytes)
+using Bandwidth = double;  ///< bytes per second
+
+namespace units {
+
+// --- time ---
+inline constexpr Time ns = 1e-9;
+inline constexpr Time us = 1e-6;
+inline constexpr Time ms = 1e-3;
+inline constexpr Time sec = 1.0;
+
+// --- data ---
+inline constexpr Bytes B = 1.0;
+inline constexpr Bytes KiB = 1024.0;
+inline constexpr Bytes MiB = 1024.0 * 1024.0;
+inline constexpr Bytes GiB = 1024.0 * 1024.0 * 1024.0;
+inline constexpr Bytes KB = 1e3;
+inline constexpr Bytes MB = 1e6;
+inline constexpr Bytes GB = 1e9;
+
+// --- bandwidth ---
+// Network links are quoted in bits/s, NVLink in bytes/s; both normalize to
+// bytes per second internally.
+inline constexpr Bandwidth bps = 1.0 / 8.0;
+inline constexpr Bandwidth Kbps = 1e3 / 8.0;
+inline constexpr Bandwidth Mbps = 1e6 / 8.0;
+inline constexpr Bandwidth Gbps = 1e9 / 8.0;
+inline constexpr Bandwidth GBps = 1e9;
+
+}  // namespace units
+
+/// Serialization delay of `data` bytes over a `bw` bytes/s link.
+[[nodiscard]] constexpr Time transfer_time(Bytes data, Bandwidth bw) {
+  return bw > 0.0 ? data / bw : 0.0;
+}
+
+}  // namespace hero

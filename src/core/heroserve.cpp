@@ -1,0 +1,170 @@
+#include "core/heroserve.hpp"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/log.hpp"
+
+namespace hero {
+
+const char* to_string(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kHeroServe: return "HeroServe";
+    case SystemKind::kDistServe: return "DistServe";
+    case SystemKind::kDsAtp: return "DS-ATP";
+    case SystemKind::kDsSwitchMl: return "DS-SwitchML";
+  }
+  return "?";
+}
+
+const gpu::LatencyModel& fitted_model(const llm::ModelConfig& model) {
+  static std::mutex mutex;
+  static std::unordered_map<std::string, std::unique_ptr<gpu::LatencyModel>>
+      cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(model.name);
+  if (it == cache.end()) {
+    const gpu::KernelModel hw(gpu::spec_of(topo::GpuModel::kA100_40), model,
+                              gpu::KernelModelOptions{}, /*seed=*/12345);
+    it = cache
+             .emplace(model.name, std::make_unique<gpu::LatencyModel>(
+                                      gpu::fit_latency_model(hw)))
+             .first;
+    log::info("profiled {}: fitted Eq.12/13 coefficients", model.name);
+  }
+  return *it->second;
+}
+
+ExperimentResult run_experiment(SystemKind kind,
+                                const ExperimentConfig& cfg) {
+  ExperimentResult result;
+  const wl::Trace trace = wl::generate_trace(cfg.workload);
+
+  // Workload estimates (the online estimator's moving averages, warmed on
+  // the trace's own length distribution).
+  wl::WorkloadEstimator estimator;
+  for (const wl::Request& r : trace) estimator.observe(r);
+
+  planner::PlannerInputs inputs;
+  inputs.graph = &cfg.topology;
+  inputs.model = cfg.model;
+  inputs.latency = &fitted_model(cfg.model);
+  inputs.batch_q = cfg.batch_q;
+  inputs.k_in = estimator.k_in(cfg.batch_q);
+  inputs.k_in2 = estimator.k_in2(cfg.batch_q);
+  inputs.k_out = estimator.k_out(cfg.batch_q);
+  inputs.arrival_rate = cfg.workload.rate;
+  inputs.t_sla_prefill = cfg.sla_ttft;
+  inputs.t_sla_decode = cfg.sla_tpot;
+  inputs.r_frac = cfg.r_frac;
+  inputs.min_p_tens = cfg.min_p_tens;
+  inputs.max_candi = cfg.max_candi;
+  inputs.decode_batch_limit = cfg.decode_batch_limit;
+  inputs.prefill_token_budget = cfg.prefill_token_budget;
+  inputs.heterogeneous = kind == SystemKind::kHeroServe;
+  inputs.seed = cfg.seed;
+  inputs.comm_cost = cfg.engine.cost;
+
+  planner::OfflinePlanner offline(inputs);
+  result.plan = offline.plan();
+  if (!result.plan.feasible) {
+    log::warn("{}: planner infeasible: {}", to_string(kind),
+              result.plan.infeasible_reason);
+    return result;
+  }
+
+  // Deploy and serve.
+  sim::Simulator simulator;
+  net::FlowNetwork network(simulator, cfg.topology);
+  sw::SwitchRegistry switches(simulator, cfg.topology);
+  coll::CollectiveEngine engine(network, switches, cfg.engine);
+
+  std::unique_ptr<coll::CommScheduler> scheduler;
+  switch (kind) {
+    case SystemKind::kHeroServe: {
+      online::PolicyBuildOptions build;
+      build.heterogeneous = true;
+      scheduler = std::make_unique<online::HeroCommScheduler>(
+          network, cfg.online, build);
+      break;
+    }
+    case SystemKind::kDistServe:
+      scheduler = std::make_unique<baselines::StaticCommScheduler>(
+          network, baselines::BaselineKind::kDistServe);
+      break;
+    case SystemKind::kDsAtp:
+      scheduler = std::make_unique<baselines::StaticCommScheduler>(
+          network, baselines::BaselineKind::kAtp);
+      break;
+    case SystemKind::kDsSwitchMl:
+      scheduler = std::make_unique<baselines::StaticCommScheduler>(
+          network, baselines::BaselineKind::kSwitchMl);
+      break;
+  }
+
+  serve::ServingOptions serving;
+  serving.model = cfg.model;
+  serving.sla_ttft = cfg.sla_ttft;
+  serving.sla_tpot = cfg.sla_tpot;
+  serving.prefill_token_budget = cfg.prefill_token_budget;
+  serving.decode_batch_limit = cfg.decode_batch_limit;
+  serving.r_frac = cfg.r_frac;
+  serving.kernel = cfg.kernel;
+  serving.seed = cfg.seed;
+  // The abort deadline is a *drain budget* after the last arrival; at low
+  // rates the arrival horizon itself can exceed any fixed wall.
+  serving.max_sim_time =
+      cfg.max_sim_time + (trace.empty() ? 0.0 : trace.back().arrival);
+
+  serve::ClusterSim cluster(network, engine, *scheduler, result.plan,
+                            serving);
+  scheduler->start();
+  result.report = cluster.run(trace);
+  return result;
+}
+
+RateSearchResult find_max_rate(SystemKind kind, ExperimentConfig cfg,
+                               double lo, double hi, double target,
+                               int iterations) {
+  RateSearchResult search;
+  auto attain = [&](double rate) {
+    cfg.workload.rate = rate;
+    ExperimentResult r = run_experiment(kind, cfg);
+    search.samples.emplace_back(rate, r.report.sla_attainment);
+    return r;
+  };
+
+  ExperimentResult at_lo = attain(lo);
+  if (at_lo.report.sla_attainment < target) {
+    // Even the lower bound fails; report zero scalability.
+    search.max_rate = 0.0;
+    search.at_max = std::move(at_lo);
+    return search;
+  }
+  search.max_rate = lo;
+  search.at_max = std::move(at_lo);
+
+  ExperimentResult at_hi = attain(hi);
+  if (at_hi.report.sla_attainment >= target) {
+    search.max_rate = hi;
+    search.at_max = std::move(at_hi);
+    return search;
+  }
+
+  double good = lo, bad = hi;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (good + bad);
+    ExperimentResult r = attain(mid);
+    if (r.report.sla_attainment >= target) {
+      good = mid;
+      search.max_rate = mid;
+      search.at_max = std::move(r);
+    } else {
+      bad = mid;
+    }
+  }
+  return search;
+}
+
+}  // namespace hero

@@ -1,0 +1,90 @@
+// HeroServe public facade.
+//
+// One-call experiment driver used by the examples and every benchmark
+// harness: configure a topology + model + workload, pick a system
+// (HeroServe or one of the paper's baselines), and run
+//     plan (offline planner) -> deploy -> serve trace -> report.
+// Also provides the max-rate search that implements the paper's
+// scalability metric ("the maximum per-GPU rate that the system can handle
+// while satisfying the latency requirements for over 90% of requests").
+#pragma once
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "baselines/static_scheduler.hpp"
+#include "online/scheduler.hpp"
+#include "planner/planner.hpp"
+#include "serving/cluster_sim.hpp"
+#include "topology/builders.hpp"
+#include "workload/trace.hpp"
+
+namespace hero {
+
+enum class SystemKind : std::uint8_t {
+  kHeroServe,
+  kDistServe,
+  kDsAtp,
+  kDsSwitchMl,
+};
+
+[[nodiscard]] const char* to_string(SystemKind kind);
+
+inline constexpr std::array<SystemKind, 4> kAllSystems{
+    SystemKind::kHeroServe, SystemKind::kDistServe, SystemKind::kDsAtp,
+    SystemKind::kDsSwitchMl};
+
+struct ExperimentConfig {
+  topo::Graph topology;
+  llm::ModelConfig model;
+  wl::TraceOptions workload;
+
+  Time sla_ttft = 2.5;
+  Time sla_tpot = 0.15;
+  double r_frac = 0.8;
+  /// Minimum tensor-parallel width (planner::PlannerInputs::min_p_tens).
+  std::size_t min_p_tens = 1;
+  std::size_t max_candi = 20;
+  std::size_t batch_q = 8;  ///< planner's assumed batch size Q
+
+  online::OnlineConfig online;   ///< HeroServe's scheduler knobs
+  coll::EngineConfig engine;     ///< T_agg, fallback host bandwidth
+  gpu::KernelModelOptions kernel;
+  std::size_t prefill_token_budget = 16384;
+  std::size_t decode_batch_limit = 128;
+  Time max_sim_time = 3600.0;
+  std::uint64_t seed = 7;
+};
+
+struct ExperimentResult {
+  planner::PlanResult plan;
+  serve::ServingReport report;
+  [[nodiscard]] bool ok() const { return plan.feasible; }
+};
+
+/// Fitted Eq. 12-13 latency model for `model` on the reference A100
+/// (process-lifetime cache; profiling runs once per model).
+[[nodiscard]] const gpu::LatencyModel& fitted_model(
+    const llm::ModelConfig& model);
+
+/// Plan + serve one trace under `kind`. When the planner finds no feasible
+/// deployment the report is empty and result.ok() is false.
+[[nodiscard]] ExperimentResult run_experiment(SystemKind kind,
+                                              const ExperimentConfig& cfg);
+
+struct RateSearchResult {
+  double max_rate = 0.0;  ///< highest rate meeting the attainment target
+  std::vector<std::pair<double, double>> samples;  ///< (rate, attainment)
+  ExperimentResult at_max;  ///< full result at max_rate
+};
+
+/// Binary-search the Poisson arrival rate for the highest load at which SLA
+/// attainment stays >= `target` (paper: 90%). `lo`..`hi` bound the search.
+[[nodiscard]] RateSearchResult find_max_rate(SystemKind kind,
+                                             ExperimentConfig cfg,
+                                             double lo, double hi,
+                                             double target = 0.9,
+                                             int iterations = 6);
+
+}  // namespace hero

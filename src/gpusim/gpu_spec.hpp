@@ -1,0 +1,35 @@
+// GPU hardware specifications for the roofline kernel model.
+//
+// The paper's testbed uses A100-40GB and V100-32GB workers (SV) plus L40 and
+// A100 in the Fig. 1 breakdown. Peak numbers are public datasheet values;
+// `efficiency` is the achievable fraction of peak for transformer kernels
+// (model FLOPs utilization), a standard profiling-derived constant.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "topology/graph.hpp"
+
+namespace hero::gpu {
+
+struct GpuSpec {
+  std::string name;
+  double fp16_tflops = 0.0;    ///< peak dense FP16 TFLOP/s
+  double efficiency = 0.45;    ///< achievable MFU for transformer kernels
+  Bandwidth hbm_bw = 0.0;      ///< HBM bandwidth (bytes/s)
+  double hbm_efficiency = 0.8; ///< achievable fraction of peak HBM bandwidth
+  Bytes memory = 0.0;
+
+  /// Effective compute throughput in FLOP/s.
+  [[nodiscard]] double flops() const {
+    return fp16_tflops * 1e12 * efficiency;
+  }
+  /// Effective memory bandwidth in bytes/s.
+  [[nodiscard]] Bandwidth mem_bw() const { return hbm_bw * hbm_efficiency; }
+};
+
+/// Datasheet spec for a topology GPU model.
+[[nodiscard]] GpuSpec spec_of(topo::GpuModel model);
+
+}  // namespace hero::gpu

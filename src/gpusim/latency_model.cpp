@@ -1,0 +1,215 @@
+#include "gpusim/latency_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hero::gpu {
+
+std::vector<double> solve_least_squares(std::span<const double> rows,
+                                        std::span<const double> y,
+                                        std::size_t cols) {
+  if (cols == 0 || rows.size() % cols != 0) {
+    throw std::invalid_argument("solve_least_squares: bad shape");
+  }
+  const std::size_t n = rows.size() / cols;
+  if (n != y.size() || n < cols) {
+    throw std::invalid_argument("solve_least_squares: need >= cols samples");
+  }
+
+  // Column scaling: feature magnitudes span many orders (FLOP counts vs. an
+  // intercept of 1), which would make the normal equations catastrophically
+  // ill-conditioned. Normalize each column to unit max first.
+  std::vector<double> scale(cols, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      scale[j] = std::max(scale[j], std::abs(rows[s * cols + j]));
+    }
+  }
+  for (double& s : scale) {
+    if (s <= 0.0) s = 1.0;
+  }
+
+  // Normal equations on scaled columns: A = X^T X (cols x cols), b = X^T y.
+  std::vector<double> a(cols * cols, 0.0);
+  std::vector<double> b(cols, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double* row = rows.data() + s * cols;
+    for (std::size_t i = 0; i < cols; ++i) {
+      const double ri = row[i] / scale[i];
+      b[i] += ri * y[s];
+      for (std::size_t j = 0; j < cols; ++j) {
+        a[i * cols + j] += ri * (row[j] / scale[j]);
+      }
+    }
+  }
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<std::size_t> perm(cols);
+  for (std::size_t i = 0; i < cols; ++i) perm[i] = i;
+  for (std::size_t col = 0; col < cols; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < cols; ++r) {
+      if (std::abs(a[r * cols + col]) > std::abs(a[pivot * cols + col])) {
+        pivot = r;
+      }
+    }
+    if (std::abs(a[pivot * cols + col]) < 1e-30) {
+      throw std::invalid_argument("solve_least_squares: singular system");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        std::swap(a[pivot * cols + j], a[col * cols + j]);
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < cols; ++r) {
+      const double f = a[r * cols + col] / a[col * cols + col];
+      for (std::size_t j = col; j < cols; ++j) {
+        a[r * cols + j] -= f * a[col * cols + j];
+      }
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(cols, 0.0);
+  for (std::size_t i = cols; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < cols; ++j) sum -= a[i * cols + j] * x[j];
+    x[i] = sum / a[i * cols + i];
+  }
+  // Undo the column scaling.
+  for (std::size_t j = 0; j < cols; ++j) x[j] /= scale[j];
+  return x;
+}
+
+LatencyModel::LatencyModel(llm::ModelConfig model, PrefillCoeffs pre,
+                           DecodeCoeffs dec, std::size_t attn_block)
+    : model_(std::move(model)), pre_(pre), dec_(dec),
+      attn_block_(std::max<std::size_t>(attn_block, 1)) {}
+
+namespace {
+
+// Eq. 12 feature terms, per stage layer.
+void prefill_features(const llm::ModelConfig& m, std::size_t attn_block,
+                      std::size_t k_in, std::size_t k_in2,
+                      std::size_t stage_layers, std::size_t p_tens,
+                      double out[3]) {
+  const double h = static_cast<double>(m.hidden);
+  const double mm = static_cast<double>(m.ffn);
+  const double pt = static_cast<double>(std::max<std::size_t>(p_tens, 1));
+  const double layers = static_cast<double>(stage_layers);
+  out[0] = layers * (4.0 * h * h + 2.0 * h * mm) *
+           static_cast<double>(k_in) / pt;
+  out[1] = layers * 3.0 * h * static_cast<double>(k_in2) /
+           (static_cast<double>(attn_block) * pt);
+  out[2] = 1.0;
+}
+
+// Eq. 13 feature terms, per stage layer.
+void decode_features(const llm::ModelConfig& m, std::size_t k_ctx,
+                     std::size_t stage_layers, std::size_t p_tens,
+                     double out[3]) {
+  const double h = static_cast<double>(m.hidden);
+  const double mm = static_cast<double>(m.ffn);
+  const double pt = static_cast<double>(std::max<std::size_t>(p_tens, 1));
+  const double layers = static_cast<double>(stage_layers);
+  out[0] = layers * (4.0 * h * h + 2.0 * h * mm) / pt;
+  out[1] = layers * 3.0 * h * static_cast<double>(k_ctx) / pt;
+  out[2] = 1.0;
+}
+
+}  // namespace
+
+Time LatencyModel::prefill(std::size_t k_in, std::size_t k_in2,
+                           std::size_t stage_layers,
+                           std::size_t p_tens) const {
+  if (k_in == 0 || stage_layers == 0) return 0.0;
+  double f[3];
+  prefill_features(model_, attn_block_, k_in, k_in2, stage_layers, p_tens, f);
+  return std::max(0.0, pre_.c1 * f[0] + pre_.c2 * f[1] + pre_.c3 * f[2]);
+}
+
+Time LatencyModel::decode(std::size_t k_ctx, std::size_t stage_layers,
+                          std::size_t p_tens) const {
+  if (stage_layers == 0) return 0.0;
+  double f[3];
+  decode_features(model_, k_ctx, stage_layers, p_tens, f);
+  return std::max(0.0, dec_.c4 * f[0] + dec_.c5 * f[1] + dec_.c6 * f[2]);
+}
+
+FitReport profile_and_fit(const KernelModel& hw, std::size_t attn_block,
+                          std::size_t repeats) {
+  const llm::ModelConfig& m = hw.model();
+  repeats = std::max<std::size_t>(repeats, 1);
+
+  const std::size_t kins[] = {128, 512, 1024, 2048, 4096, 8192};
+  const std::size_t requests[] = {1, 4, 16};
+  const std::size_t p_tens_grid[] = {1, 2, 4, 8};
+  const std::size_t stage_layer_grid[] = {
+      std::max<std::size_t>(m.layers / 8, 1),
+      std::max<std::size_t>(m.layers / 2, 1), m.layers};
+
+  std::vector<double> pre_rows, pre_y, dec_rows, dec_y;
+
+  for (std::size_t pt : p_tens_grid) {
+    for (std::size_t layers : stage_layer_grid) {
+      for (std::size_t kin : kins) {
+        for (std::size_t q : requests) {
+          // q equal-length requests: K_in2 = q * (K_in/q)^2 = K_in^2 / q.
+          const std::size_t kin2 = kin / q > 0 ? (kin / q) * kin : kin;
+          double t = 0.0;
+          for (std::size_t r = 0; r < repeats; ++r) {
+            t += hw.prefill_time(kin, kin2, layers, pt);
+          }
+          t /= static_cast<double>(repeats);
+          double f[3];
+          prefill_features(m, attn_block, kin, kin2, layers, pt, f);
+          pre_rows.insert(pre_rows.end(), f, f + 3);
+          pre_y.push_back(t);
+
+          // Decode grid: batch q, context = kin tokens total.
+          double td = 0.0;
+          for (std::size_t r = 0; r < repeats; ++r) {
+            td += hw.decode_time(q, kin, layers, pt);
+          }
+          td /= static_cast<double>(repeats);
+          double fd[3];
+          decode_features(m, kin, layers, pt, fd);
+          dec_rows.insert(dec_rows.end(), fd, fd + 3);
+          dec_y.push_back(td);
+        }
+      }
+    }
+  }
+
+  const std::vector<double> cp = solve_least_squares(pre_rows, pre_y, 3);
+  const std::vector<double> cd = solve_least_squares(dec_rows, dec_y, 3);
+
+  FitReport report;
+  report.prefill = PrefillCoeffs{cp[0], cp[1], cp[2]};
+  report.decode = DecodeCoeffs{cd[0], cd[1], cd[2]};
+  report.samples = pre_y.size();
+
+  // Mean relative error over the grid (noise-free comparison is impossible,
+  // so this includes jitter; it should still land in the low percent range).
+  double pre_err = 0.0, dec_err = 0.0;
+  for (std::size_t s = 0; s < pre_y.size(); ++s) {
+    const double* f = pre_rows.data() + s * 3;
+    const double pred = cp[0] * f[0] + cp[1] * f[1] + cp[2] * f[2];
+    pre_err += std::abs(pred - pre_y[s]) / std::max(pre_y[s], 1e-9);
+    const double* fd = dec_rows.data() + s * 3;
+    const double predd = cd[0] * fd[0] + cd[1] * fd[1] + cd[2] * fd[2];
+    dec_err += std::abs(predd - dec_y[s]) / std::max(dec_y[s], 1e-9);
+  }
+  report.prefill_rel_err = pre_err / static_cast<double>(pre_y.size());
+  report.decode_rel_err = dec_err / static_cast<double>(dec_y.size());
+  return report;
+}
+
+LatencyModel fit_latency_model(const KernelModel& hw,
+                               std::size_t attn_block) {
+  const FitReport report = profile_and_fit(hw, attn_block);
+  return LatencyModel(hw.model(), report.prefill, report.decode, attn_block);
+}
+
+}  // namespace hero::gpu

@@ -1,0 +1,317 @@
+#include "netsim/flownet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace hero::net {
+namespace {
+
+// Bytes below this are considered delivered. Sub-byte residues are floating
+// point drift, never payload (large transfers accumulate ~1e-6 bytes of
+// rounding error across rate changes).
+constexpr Bytes kEpsilonBytes = 0.5;
+
+}  // namespace
+
+FlowNetwork::FlowNetwork(sim::Simulator& simulator, const topo::Graph& graph)
+    : sim_(&simulator), graph_(&graph),
+      degradation_(graph.edge_count(), 1.0),
+      link_rate_(graph.edge_count() * 2, 0.0),
+      link_util_avg_(graph.edge_count() * 2),
+      link_delivered_(graph.edge_count() * 2, 0.0) {}
+
+std::vector<DirectedLink> FlowNetwork::active_links(
+    const Transfer& t) const {
+  auto link_at = [&](std::size_t hop) {
+    const topo::EdgeId e = t.path.edges[hop];
+    const topo::NodeId from = t.path.nodes[hop];
+    return DirectedLink{e, graph_->edge(e).a == from};
+  };
+  if (!t.pipelined) return {link_at(t.hop)};
+  std::vector<DirectedLink> links;
+  links.reserve(t.path.edges.size());
+  for (std::size_t h = 0; h < t.path.edges.size(); ++h) {
+    links.push_back(link_at(h));
+  }
+  return links;
+}
+
+Bandwidth FlowNetwork::link_capacity(DirectedLink link) const {
+  return graph_->edge(link.edge).capacity * degradation_[link.edge];
+}
+
+TransferId FlowNetwork::start_transfer(const topo::Path& path, Bytes bytes,
+                                       TransferOptions opts) {
+  if (bytes < 0) throw std::invalid_argument("start_transfer: bytes < 0");
+  const TransferId id = next_id_++;
+  if (path.empty() || bytes <= kEpsilonBytes) {
+    // Local (same-node) transfers or empty payloads complete "immediately"
+    // but still asynchronously, so callers get uniform callback semantics.
+    if (opts.on_complete) {
+      sim_->schedule_in(0.0, [cb = std::move(opts.on_complete), id] {
+        cb(id);
+      });
+    }
+    return id;
+  }
+
+  Transfer t;
+  t.id = id;
+  t.path = path;
+  t.bytes = bytes;
+  t.hop = 0;
+  t.weight = opts.weight > 0 ? opts.weight : 1.0;
+  t.pipelined = opts.pipelined;
+  t.on_complete = std::move(opts.on_complete);
+  auto [it, inserted] = transfers_.emplace(id, std::move(t));
+  begin_hop(it->second);
+  return id;
+}
+
+void FlowNetwork::begin_hop(Transfer& t) {
+  t.in_flight = false;
+  t.hop_left = t.bytes;
+  t.rate = 0.0;
+  // Fixed forwarding latency elapses before the payload starts occupying
+  // link(s): the current hop's latency for store-and-forward flows, the
+  // whole path's once for pipelined ones.
+  Time latency = 0.0;
+  if (t.pipelined) {
+    for (topo::EdgeId e : t.path.edges) latency += graph_->edge(e).latency;
+  } else {
+    latency = graph_->edge(t.path.edges[t.hop]).latency;
+  }
+  const TransferId id = t.id;
+  sim_->schedule_in(latency, [this, id] {
+    auto it = transfers_.find(id);
+    if (it == transfers_.end()) return;
+    it->second.in_flight = true;
+    it->second.last_update = sim_->now();
+    reallocate();
+  });
+}
+
+void FlowNetwork::cancel_transfer(TransferId id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  if (it->second.completion_event != sim::kInvalidEvent) {
+    sim_->cancel(it->second.completion_event);
+  }
+  const bool was_in_flight = it->second.in_flight;
+  transfers_.erase(it);
+  if (was_in_flight) reallocate();
+}
+
+void FlowNetwork::progress_to_now() {
+  const Time now = sim_->now();
+  for (auto& [id, t] : transfers_) {
+    if (!t.in_flight) continue;
+    const Time dt = now - t.last_update;
+    if (dt > 0) {
+      const Bytes moved = std::min(t.hop_left, t.rate * dt);
+      t.hop_left -= moved;
+      for (const DirectedLink& link : active_links(t)) {
+        link_delivered_[link.index()] += moved;
+      }
+      t.last_update = now;
+    }
+  }
+}
+
+void FlowNetwork::compute_max_min_rates() {
+  // Weighted progressive filling, generalized to flows spanning several
+  // links (pipelined mode): fixing a flow at the bottleneck's fair share
+  // consumes capacity on every other link it crosses.
+  struct LinkState {
+    double residual;
+    double weight_sum = 0.0;
+  };
+  std::unordered_map<std::size_t, LinkState> links;
+  struct Entry {
+    Transfer* t;
+    std::vector<DirectedLink> spans;
+  };
+  std::vector<Entry> unfixed;
+  unfixed.reserve(transfers_.size());
+
+  for (auto& [id, t] : transfers_) {
+    if (!t.in_flight) continue;
+    t.rate = 0.0;
+    Entry entry{&t, active_links(t)};
+    for (const DirectedLink& link : entry.spans) {
+      auto [it, inserted] =
+          links.try_emplace(link.index(), LinkState{link_capacity(link)});
+      it->second.weight_sum += t.weight;
+    }
+    unfixed.push_back(std::move(entry));
+  }
+
+  while (!unfixed.empty()) {
+    // Find the bottleneck link: minimal fair share per unit weight.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_link = ~std::size_t{0};
+    for (const auto& [idx, state] : links) {
+      if (state.weight_sum <= 0) continue;
+      const double share = state.residual / state.weight_sum;
+      if (share < best_share) {
+        best_share = share;
+        best_link = idx;
+      }
+    }
+    if (best_link == ~std::size_t{0}) break;
+
+    // Fix every unfixed transfer crossing the bottleneck; release their
+    // demand from the other links they span.
+    std::vector<Entry> rest;
+    rest.reserve(unfixed.size());
+    for (Entry& entry : unfixed) {
+      const bool on_bottleneck =
+          std::any_of(entry.spans.begin(), entry.spans.end(),
+                      [&](const DirectedLink& l) {
+                        return l.index() == best_link;
+                      });
+      if (!on_bottleneck) {
+        rest.push_back(std::move(entry));
+        continue;
+      }
+      entry.t->rate = best_share * entry.t->weight;
+      for (const DirectedLink& link : entry.spans) {
+        if (link.index() == best_link) continue;
+        auto it = links.find(link.index());
+        if (it != links.end()) {
+          it->second.residual =
+              std::max(0.0, it->second.residual - entry.t->rate);
+          it->second.weight_sum -= entry.t->weight;
+        }
+      }
+    }
+    links.erase(best_link);
+    unfixed.swap(rest);
+  }
+}
+
+void FlowNetwork::reallocate() {
+  progress_to_now();
+  compute_max_min_rates();
+
+  // Refresh utilization accounting.
+  const Time now = sim_->now();
+  std::fill(link_rate_.begin(), link_rate_.end(), 0.0);
+  for (auto& [id, t] : transfers_) {
+    if (!t.in_flight) continue;
+    for (const DirectedLink& link : active_links(t)) {
+      link_rate_[link.index()] += t.rate;
+    }
+  }
+  for (std::size_t i = 0; i < link_rate_.size(); ++i) {
+    const DirectedLink link{static_cast<topo::EdgeId>(i / 2), (i % 2) == 0};
+    const Bandwidth cap = link_capacity(link);
+    link_util_avg_[i].observe(now, cap > 0 ? link_rate_[i] / cap : 0.0);
+  }
+
+  // Reschedule completion events.
+  for (auto& [id, t] : transfers_) {
+    if (t.completion_event != sim::kInvalidEvent) {
+      sim_->cancel(t.completion_event);
+      t.completion_event = sim::kInvalidEvent;
+    }
+    if (!t.in_flight) continue;
+    if (t.hop_left <= kEpsilonBytes) {
+      t.completion_event = sim_->schedule_in(
+          0.0, [this, tid = t.id] { on_hop_complete(tid); });
+    } else if (t.rate > 0) {
+      t.completion_event =
+          sim_->schedule_in(t.hop_left / t.rate,
+                            [this, tid = t.id] { on_hop_complete(tid); });
+    }
+    // rate == 0 (fully degraded link): transfer stalls until the next
+    // reallocation gives it bandwidth.
+  }
+}
+
+void FlowNetwork::on_hop_complete(TransferId id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  Transfer& t = it->second;
+  t.completion_event = sim::kInvalidEvent;
+
+  // Account any residue (event fired exactly at depletion time).
+  const Time now = sim_->now();
+  const Time dt = now - t.last_update;
+  if (dt > 0 && t.in_flight) {
+    const Bytes moved = std::min(t.hop_left, t.rate * dt);
+    t.hop_left -= moved;
+    for (const DirectedLink& link : active_links(t)) {
+      link_delivered_[link.index()] += moved;
+    }
+    t.last_update = now;
+  }
+  if (t.hop_left > kEpsilonBytes) {
+    // Spurious wakeup (the event raced a rate change); make sure a fresh
+    // completion event exists for the residue.
+    reallocate();
+    return;
+  }
+
+  t.in_flight = false;
+  ++t.hop;
+  if (!t.pipelined && t.hop < t.path.edges.size()) {
+    begin_hop(t);
+    reallocate();
+    return;
+  }
+  auto cb = std::move(t.on_complete);
+  transfers_.erase(it);
+  reallocate();
+  if (cb) cb(id);
+}
+
+double FlowNetwork::utilization(DirectedLink link) const {
+  const Bandwidth cap = link_capacity(link);
+  return cap > 0 ? link_rate_[link.index()] / cap : 0.0;
+}
+
+double FlowNetwork::edge_utilization(topo::EdgeId edge) const {
+  return std::max(utilization(DirectedLink{edge, true}),
+                  utilization(DirectedLink{edge, false}));
+}
+
+double FlowNetwork::average_utilization(DirectedLink link) const {
+  return link_util_avg_[link.index()].average();
+}
+
+std::vector<Bandwidth> FlowNetwork::residual_bandwidth() const {
+  std::vector<Bandwidth> out(graph_->edge_count(), 0.0);
+  for (topo::EdgeId e = 0; e < graph_->edge_count(); ++e) {
+    const Bandwidth cap = graph_->edge(e).capacity * degradation_[e];
+    const double busy = std::max(link_rate_[e * 2], link_rate_[e * 2 + 1]);
+    out[e] = std::max(0.0, cap - busy);
+  }
+  return out;
+}
+
+Bytes FlowNetwork::delivered_bytes(DirectedLink link) const {
+  return link_delivered_[link.index()];
+}
+
+void FlowNetwork::debug_dump() const {
+  for (const auto& [id, t] : transfers_) {
+    log::warn(
+        "transfer {}: hop {}/{} in_flight={} hop_left={} rate={} event={}",
+        id, t.hop, t.path.edges.size(), t.in_flight, t.hop_left, t.rate,
+        t.completion_event);
+  }
+}
+
+void FlowNetwork::set_link_degradation(topo::EdgeId edge, double factor) {
+  if (!(factor > 0.0) || factor > 1.0) {
+    throw std::invalid_argument("set_link_degradation: factor in (0,1]");
+  }
+  degradation_[edge] = factor;
+  reallocate();
+}
+
+}  // namespace hero::net

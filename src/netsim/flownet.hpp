@@ -1,0 +1,143 @@
+// Fluid flow-level network simulation over a topology graph.
+//
+// A Transfer moves `bytes` along a multi-hop Path with store-and-forward
+// semantics: the payload occupies exactly one directed link at a time and
+// advances hop by hop (this matches the paper's latency model, Eq. 10, and
+// the Fig. 2 arithmetic). While on a link, a transfer is a *flow*; all flows
+// on the network share link bandwidth max-min fairly, recomputed whenever a
+// flow starts or finishes. Congestion therefore emerges naturally: bursty
+// concurrent collectives slow each other down on shared Ethernet links while
+// NVLink hops stay essentially free.
+//
+// The network also keeps per-directed-link utilization accounting — the
+// simulated equivalent of the switch hardware counters and DCGM NVLink
+// counters the paper's agents poll.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "netsim/sim.hpp"
+#include "topology/graph.hpp"
+#include "topology/paths.hpp"
+
+namespace hero::net {
+
+using TransferId = std::uint64_t;
+inline constexpr TransferId kInvalidTransfer = 0;
+
+/// Directed view of an undirected edge: forward = (edge.a -> edge.b).
+struct DirectedLink {
+  topo::EdgeId edge = topo::kInvalidEdge;
+  bool forward = true;
+
+  [[nodiscard]] std::size_t index() const {
+    return static_cast<std::size_t>(edge) * 2 + (forward ? 0 : 1);
+  }
+};
+
+struct TransferOptions {
+  /// Invoked at completion of the final hop.
+  std::function<void(TransferId)> on_complete;
+  /// Optional priority weight for max-min sharing (>= share of bandwidth on
+  /// contended links proportional to weight). 1.0 = normal.
+  double weight = 1.0;
+  /// Pipelined (wormhole) mode: the flow occupies every hop of its path
+  /// simultaneously at one end-to-end rate, paying the fixed hop latencies
+  /// once up front. Matches RDMA bulk streams (KV-cache transfers); the
+  /// default store-and-forward mode matches the paper's aggregation-path
+  /// model (Eq. 10).
+  bool pipelined = false;
+};
+
+class FlowNetwork {
+ public:
+  FlowNetwork(sim::Simulator& simulator, const topo::Graph& graph);
+
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  /// Begin transferring `bytes` along `path`. Completion fires
+  /// opts.on_complete. Zero-length paths (src == dst) complete immediately
+  /// (scheduled, not inline).
+  TransferId start_transfer(const topo::Path& path, Bytes bytes,
+                            TransferOptions opts = {});
+
+  /// Abort an in-flight transfer (no completion callback fires).
+  void cancel_transfer(TransferId id);
+
+  [[nodiscard]] std::size_t active_transfers() const {
+    return transfers_.size();
+  }
+
+  // --- monitoring (the "hardware counters") ---
+
+  /// Instantaneous utilization in [0,1] of a directed link.
+  [[nodiscard]] double utilization(DirectedLink link) const;
+  /// Higher of the two directions of an edge.
+  [[nodiscard]] double edge_utilization(topo::EdgeId edge) const;
+  /// Time-averaged utilization of a directed link since construction.
+  [[nodiscard]] double average_utilization(DirectedLink link) const;
+  /// Residual bandwidth per edge = C(e) * degradation - busy rate (max over
+  /// directions); the planner's `B(e)` vector (size = edge_count).
+  [[nodiscard]] std::vector<Bandwidth> residual_bandwidth() const;
+  /// Total bytes delivered on a directed link since construction.
+  [[nodiscard]] Bytes delivered_bytes(DirectedLink link) const;
+
+  // --- failure injection ---
+
+  /// Scale the usable capacity of an edge (both directions); factor in
+  /// (0, 1]. Rates are recomputed immediately.
+  void set_link_degradation(topo::EdgeId edge, double factor);
+
+  [[nodiscard]] const topo::Graph& graph() const { return *graph_; }
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+
+  /// Log the state of every active transfer (diagnostics).
+  void debug_dump() const;
+
+ private:
+  struct Transfer {
+    TransferId id = kInvalidTransfer;
+    topo::Path path;
+    Bytes bytes = 0;         // per-hop payload size
+    std::size_t hop = 0;     // current hop index into path.edges
+    Bytes hop_left = 0;      // bytes left on the current hop/stream
+    double rate = 0;         // current allocated rate (bytes/s)
+    double weight = 1.0;
+    bool pipelined = false;  // occupies all hops at once when true
+    Time last_update = 0;
+    sim::EventId completion_event = sim::kInvalidEvent;
+    bool in_flight = false;  // false while waiting out hop latency
+    std::function<void(TransferId)> on_complete;
+  };
+
+  sim::Simulator* sim_;
+  const topo::Graph* graph_;
+  TransferId next_id_ = 1;
+  std::unordered_map<TransferId, Transfer> transfers_;
+  std::vector<double> degradation_;           // per edge
+  mutable std::vector<double> link_rate_;     // per directed link, busy rate
+  std::vector<TimeWeighted> link_util_avg_;   // per directed link
+  std::vector<Bytes> link_delivered_;         // per directed link
+
+  /// Directed links the transfer currently occupies: the single current
+  /// hop for store-and-forward flows, every hop for pipelined ones.
+  [[nodiscard]] std::vector<DirectedLink> active_links(
+      const Transfer& t) const;
+  [[nodiscard]] Bandwidth link_capacity(DirectedLink link) const;
+
+  /// Progress all in-flight transfers to now, recompute max-min rates,
+  /// reschedule completion events, refresh utilization accounting.
+  void reallocate();
+  void progress_to_now();
+  void compute_max_min_rates();
+  void on_hop_complete(TransferId id);
+  void begin_hop(Transfer& t);
+};
+
+}  // namespace hero::net

@@ -1,0 +1,61 @@
+#include "netsim/sim.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hero::sim {
+
+EventId Simulator::schedule(Time at, Callback cb) {
+  if (at < now_) throw std::invalid_argument("Simulator: event in the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{at, id, std::move(cb)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+EventId Simulator::schedule_in(Time delay, Callback cb) {
+  return schedule(now_ + delay, std::move(cb));
+}
+
+void Simulator::cancel(EventId id) {
+  // Only events that are actually pending can be cancelled; stale or bogus
+  // ids are ignored so pending_events() stays exact.
+  if (pending_ids_.erase(id) > 0) cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    pending_ids_.erase(ev.id);
+    now_ = ev.at;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Time t) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.at > t) break;
+    step();
+  }
+  if (t > now_) now_ = t;
+}
+
+std::size_t Simulator::pending_events() const {
+  return pending_ids_.size();
+}
+
+}  // namespace hero::sim

@@ -1,0 +1,68 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event calendar: callbacks scheduled at absolute times,
+// executed in (time, insertion) order. Everything in HeroServe that "takes
+// time" — flow completions, compute kernels, controller sync periods,
+// request arrivals — is an event on one Simulator instance, which makes runs
+// fully deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hero::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `at` (>= now). Returns a handle usable
+  /// with cancel().
+  EventId schedule(Time at, Callback cb);
+  /// Schedule `cb` after `delay` seconds.
+  EventId schedule_in(Time delay, Callback cb);
+  /// Cancel a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  /// Execute the next event. Returns false when the calendar is empty.
+  bool step();
+  /// Run until the calendar drains.
+  void run();
+  /// Run events with time <= t, then set now() = t.
+  void run_until(Time t);
+
+  [[nodiscard]] std::size_t pending_events() const;
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time at;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> pending_ids_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace hero::sim

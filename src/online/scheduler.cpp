@@ -1,0 +1,182 @@
+#include "online/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/format.hpp"
+#include "common/log.hpp"
+
+namespace hero::online {
+namespace {
+
+topo::PathOptions hetero_opts(bool heterogeneous) {
+  topo::PathOptions opts;
+  opts.constraints.allow_nvlink = heterogeneous;
+  return opts;
+}
+
+/// Wide-phase participants of a would-be plan: group leaders when
+/// hierarchical, all members otherwise.
+std::vector<topo::NodeId> wide_participants(
+    const topo::Graph& g, const std::vector<topo::NodeId>& members,
+    bool hierarchical) {
+  if (!hierarchical) return members;
+  std::vector<topo::NodeId> leaders;
+  std::vector<std::int32_t> seen;
+  for (topo::NodeId m : members) {
+    const std::int32_t server = g.node(m).gpu.server;
+    if (std::find(seen.begin(), seen.end(), server) == seen.end()) {
+      seen.push_back(server);
+      leaders.push_back(m);
+    }
+  }
+  return leaders;
+}
+
+}  // namespace
+
+std::vector<Policy> build_policies(const topo::Graph& graph,
+                                   const std::vector<topo::NodeId>& members,
+                                   const PolicyBuildOptions& opts) {
+  if (members.empty()) {
+    throw std::invalid_argument("build_policies: empty group");
+  }
+  const coll::Router route = coll::shortest_path_router(
+      graph, hetero_opts(opts.heterogeneous).constraints);
+  const std::vector<topo::NodeId> wide =
+      wide_participants(graph, members, opts.heterogeneous);
+
+  std::vector<Policy> policies;
+  auto add = [&](std::string name, coll::AllReducePlan plan) {
+    Policy p;
+    p.name = std::move(name);
+    p.edges = plan_edges(plan, graph);
+    p.plan = std::move(plan);
+    policies.push_back(std::move(p));
+  };
+
+  if (opts.include_ina) {
+    const auto switches = coll::rank_aggregation_switches(
+        graph, wide, hetero_opts(opts.heterogeneous).constraints,
+        opts.switch_candidates);
+    for (topo::NodeId sw : switches) {
+      coll::AllReducePlan plan =
+          opts.heterogeneous
+              ? coll::make_hierarchical_plan(graph, members, 0.0,
+                                             opts.ina_scheme, route, sw,
+                                             opts.fallback, opts.slots)
+              : coll::make_ina_plan(members, 0.0, sw, opts.ina_scheme, route,
+                                    opts.fallback, opts.slots);
+      add(strfmt("{}ina@{}", opts.heterogeneous ? "hier-" : "",
+                 graph.node(sw).name),
+          std::move(plan));
+    }
+  }
+  if (opts.include_ring || policies.empty()) {
+    coll::AllReducePlan plan =
+        opts.heterogeneous
+            ? coll::make_hierarchical_plan(graph, members, 0.0,
+                                           coll::Scheme::kRing, route)
+            : coll::make_ring_plan(members, 0.0, route);
+    add(opts.heterogeneous ? "hier-ring" : "ring", std::move(plan));
+  }
+  return policies;
+}
+
+OnlineScheduler::OnlineScheduler(net::FlowNetwork& network,
+                                 OnlineConfig config)
+    : network_(&network), config_(config) {}
+
+GroupId OnlineScheduler::register_group(std::string name,
+                                        std::vector<Policy> policies) {
+  names_.push_back(std::move(name));
+  tables_.push_back(std::make_unique<PolicyTable>(std::move(policies),
+                                                  network_->graph()));
+  return tables_.size() - 1;
+}
+
+void OnlineScheduler::start() {
+  if (started_) return;
+  started_ = true;
+  controller_tick();
+}
+
+void OnlineScheduler::controller_tick() {
+  // "It periodically polls hardware counters from the data plane to obtain
+  //  link utilization metrics. These statistics are then used to update the
+  //  cost parameters in the online scheduling process." (SIV)
+  for (auto& table : tables_) {
+    table->sync_costs_from_network(*network_);
+    table->update_penalties(network_, config_);
+  }
+  network_->simulator().schedule_in(config_.sync_period,
+                                    [this] { controller_tick(); });
+}
+
+coll::AllReducePlan OnlineScheduler::plan_all_reduce(GroupId group,
+                                                     Bytes bytes) {
+  PolicyTable& table = *tables_.at(group);
+  const std::size_t choice = table.select(bytes, config_);
+  if (config_.controller_delay > 0) {
+    // Table updates propagate through the controller with a delay.
+    network_->simulator().schedule_in(
+        config_.controller_delay, [this, group, choice, bytes] {
+          tables_.at(group)->apply_selection(choice, bytes, config_);
+        });
+  } else {
+    table.apply_selection(choice, bytes, config_);
+  }
+  coll::AllReducePlan plan = table.policy(choice).plan;
+  plan.bytes = bytes;
+  return plan;
+}
+
+const PolicyTable& OnlineScheduler::table(GroupId group) const {
+  return *tables_.at(group);
+}
+
+PolicyTable& OnlineScheduler::table(GroupId group) {
+  return *tables_.at(group);
+}
+
+HeroCommScheduler::HeroCommScheduler(net::FlowNetwork& network,
+                                     OnlineConfig config,
+                                     PolicyBuildOptions build)
+    : network_(&network), build_(build), online_(network, config) {}
+
+GroupId HeroCommScheduler::register_group(
+    std::vector<topo::NodeId> members) {
+  std::vector<Policy> policies =
+      build_policies(network_->graph(), members, build_);
+  return online_.register_group(
+      strfmt("group{}", online_.group_count()), std::move(policies));
+}
+
+coll::AllReducePlan HeroCommScheduler::all_reduce_plan(GroupId group,
+                                                       Bytes bytes) {
+  return online_.plan_all_reduce(group, bytes);
+}
+
+topo::Path HeroCommScheduler::unicast_path(topo::NodeId src,
+                                           topo::NodeId dst) {
+  // Load-aware route choice among edge-diverse alternates: pick the one
+  // whose current bottleneck residual bandwidth is largest.
+  const auto residual = network_->residual_bandwidth();
+  auto alts = topo::alternate_paths(network_->graph(), src, dst, 3,
+                                    hetero_opts(build_.heterogeneous));
+  if (alts.empty()) {
+    throw std::runtime_error("HeroCommScheduler: no unicast route");
+  }
+  const topo::Path* best = &alts.front();
+  Bandwidth best_bw = 0.0;
+  for (const topo::Path& p : alts) {
+    const Bandwidth bw = p.bottleneck(network_->graph(), residual);
+    if (bw > best_bw) {
+      best_bw = bw;
+      best = &p;
+    }
+  }
+  return *best;
+}
+
+}  // namespace hero::online

@@ -1,0 +1,90 @@
+// Load-aware online scheduler (paper SIII-D) and HeroServe's CommScheduler.
+//
+// Per registered GPU group the scheduler holds a PolicyTable. On every
+// collective call it selects the cheapest policy (Eq. 16), applies the
+// Eq. 17 cost propagation (optionally after a controller propagation
+// delay), and returns the executable plan. A periodic controller task —
+// the simulated central HeroServe controller polling switch hardware
+// counters and DCGM — recalibrates policy costs from measured link
+// utilization and refreshes the Eq. 18 penalty matrix.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collectives/comm_scheduler.hpp"
+#include "online/policy.hpp"
+
+namespace hero::online {
+
+using GroupId = coll::GroupId;
+
+/// Options controlling what candidate policies a group's table is populated
+/// with.
+struct PolicyBuildOptions {
+  bool heterogeneous = true;  ///< NVLink paths + hierarchical plans
+  bool include_ring = true;
+  bool include_ina = true;
+  std::size_t switch_candidates = 2;  ///< INA switches considered per group
+  coll::Scheme ina_scheme = coll::Scheme::kInaSync;
+  topo::NodeId fallback = topo::kInvalidNode;  ///< PS host for async INA
+  std::uint32_t slots = 8;
+};
+
+/// Build the candidate policy set for one GPU group on `graph`.
+[[nodiscard]] std::vector<Policy> build_policies(
+    const topo::Graph& graph, const std::vector<topo::NodeId>& members,
+    const PolicyBuildOptions& opts);
+
+class OnlineScheduler {
+ public:
+  OnlineScheduler(net::FlowNetwork& network, OnlineConfig config = {});
+
+  /// Register a group with an explicit policy set.
+  GroupId register_group(std::string name, std::vector<Policy> policies);
+
+  /// Begin the periodic controller sync loop (idempotent).
+  void start();
+
+  /// Select (Eq. 16) + update costs (Eq. 17) + return the resolved plan.
+  [[nodiscard]] coll::AllReducePlan plan_all_reduce(GroupId group,
+                                                    Bytes bytes);
+
+  [[nodiscard]] const PolicyTable& table(GroupId group) const;
+  [[nodiscard]] PolicyTable& table(GroupId group);
+  [[nodiscard]] std::size_t group_count() const { return tables_.size(); }
+  [[nodiscard]] const OnlineConfig& config() const { return config_; }
+
+ private:
+  net::FlowNetwork* network_;
+  OnlineConfig config_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<PolicyTable>> tables_;
+  bool started_ = false;
+
+  void controller_tick();
+};
+
+/// HeroServe's CommScheduler: hierarchical/heterogeneous policies driven by
+/// the online scheduler; load-aware alternate routing for unicast.
+class HeroCommScheduler final : public coll::CommScheduler {
+ public:
+  HeroCommScheduler(net::FlowNetwork& network, OnlineConfig config = {},
+                    PolicyBuildOptions build = {});
+
+  GroupId register_group(std::vector<topo::NodeId> members) override;
+  coll::AllReducePlan all_reduce_plan(GroupId group, Bytes bytes) override;
+  topo::Path unicast_path(topo::NodeId src, topo::NodeId dst) override;
+  void start() override { online_.start(); }
+  [[nodiscard]] const char* name() const override { return "HeroServe"; }
+
+  [[nodiscard]] OnlineScheduler& online() { return online_; }
+
+ private:
+  net::FlowNetwork* network_;
+  PolicyBuildOptions build_;
+  OnlineScheduler online_;
+};
+
+}  // namespace hero::online

@@ -1,0 +1,155 @@
+#include "planner/grouping.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hero::planner {
+
+LatencyMatrix::LatencyMatrix(std::vector<topo::NodeId> gpus,
+                             std::vector<Time> data)
+    : gpus_(std::move(gpus)), data_(std::move(data)) {
+  if (data_.size() != gpus_.size() * gpus_.size()) {
+    throw std::invalid_argument("LatencyMatrix: shape mismatch");
+  }
+}
+
+namespace {
+
+/// Squared distance between GPU i's latency row and a centroid row.
+double row_distance(const LatencyMatrix& m, std::size_t i,
+                    const std::vector<double>& centroid) {
+  double d = 0.0;
+  for (std::size_t j = 0; j < m.size(); ++j) {
+    const double diff = m.at(i, j) - centroid[j];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> constrained_kmeans(
+    const LatencyMatrix& matrix, std::size_t groups, std::size_t group_size,
+    Rng& rng, std::size_t iterations) {
+  const std::size_t n = matrix.size();
+  if (groups == 0 || group_size == 0 || groups * group_size > n) {
+    throw std::invalid_argument("constrained_kmeans: infeasible shape");
+  }
+
+  // k-means++ style seeding on latency rows.
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(groups);
+  {
+    std::size_t first = rng.uniform_int(n);
+    std::vector<double> row(n);
+    for (std::size_t j = 0; j < n; ++j) row[j] = matrix.at(first, j);
+    centroids.push_back(row);
+    while (centroids.size() < groups) {
+      std::vector<double> weights(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        for (const auto& c : centroids) {
+          best = std::min(best, row_distance(matrix, i, c));
+        }
+        weights[i] = best;
+      }
+      const std::size_t pick = rng.weighted_index(weights);
+      for (std::size_t j = 0; j < n; ++j) row[j] = matrix.at(pick, j);
+      centroids.push_back(row);
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> assignment;
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    // Greedy capacity-constrained assignment: all (gpu, centroid) pairs by
+    // ascending distance; fill groups up to group_size.
+    struct Pair {
+      double dist;
+      std::size_t gpu, group;
+    };
+    std::vector<Pair> pairs;
+    pairs.reserve(n * groups);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < groups; ++c) {
+        pairs.push_back({row_distance(matrix, i, centroids[c]), i, c});
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& a, const Pair& b) { return a.dist < b.dist; });
+
+    assignment.assign(groups, {});
+    std::vector<bool> taken(n, false);
+    std::size_t assigned = 0;
+    for (const Pair& p : pairs) {
+      if (assigned == groups * group_size) break;
+      if (taken[p.gpu] || assignment[p.group].size() >= group_size) continue;
+      taken[p.gpu] = true;
+      assignment[p.group].push_back(p.gpu);
+      ++assigned;
+    }
+
+    // Recompute centroids.
+    bool moved = false;
+    for (std::size_t c = 0; c < groups; ++c) {
+      if (assignment[c].empty()) continue;
+      std::vector<double> mean(n, 0.0);
+      for (std::size_t i : assignment[c]) {
+        for (std::size_t j = 0; j < n; ++j) mean[j] += matrix.at(i, j);
+      }
+      for (double& v : mean) v /= static_cast<double>(assignment[c].size());
+      if (mean != centroids[c]) {
+        centroids[c] = std::move(mean);
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  for (auto& group : assignment) std::sort(group.begin(), group.end());
+  return assignment;
+}
+
+std::size_t perturb_groups(
+    std::vector<std::vector<std::size_t>>& groups,
+    const std::function<Time(const std::vector<std::size_t>&)>& group_cost,
+    Rng& rng, std::size_t max_rounds) {
+  if (groups.size() < 2) return 0;
+  std::size_t accepted = 0;
+  std::size_t rounds_without_improvement = 0;
+  while (rounds_without_improvement < max_rounds) {
+    bool improvement = false;
+    // One round: a handful of random swap proposals.
+    const std::size_t proposals = groups.size() * 4;
+    for (std::size_t p = 0; p < proposals; ++p) {
+      const std::size_t a = rng.uniform_int(groups.size());
+      std::size_t b = rng.uniform_int(groups.size() - 1);
+      if (b >= a) ++b;
+      if (groups[a].empty() || groups[b].empty()) continue;
+      const std::size_t ia = rng.uniform_int(groups[a].size());
+      const std::size_t ib = rng.uniform_int(groups[b].size());
+
+      const Time before = group_cost(groups[a]) + group_cost(groups[b]);
+      std::swap(groups[a][ia], groups[b][ib]);
+      const Time after = group_cost(groups[a]) + group_cost(groups[b]);
+      if (after < before) {
+        ++accepted;
+        improvement = true;
+      } else {
+        std::swap(groups[a][ia], groups[b][ib]);  // revert
+      }
+    }
+    rounds_without_improvement =
+        improvement ? 0 : rounds_without_improvement + 1;
+  }
+  return accepted;
+}
+
+Time total_group_cost(
+    const std::vector<std::vector<std::size_t>>& groups,
+    const std::function<Time(const std::vector<std::size_t>&)>& group_cost) {
+  Time total = 0.0;
+  for (const auto& g : groups) total += group_cost(g);
+  return total;
+}
+
+}  // namespace hero::planner

@@ -1,0 +1,65 @@
+// GPU grouping for tensor parallelism (paper Alg. 2, steps 1 and 3).
+//
+// "We partition all GPUs into P_pipe groups, each containing P_tens GPUs
+//  using a k-means-constrained approach [45]" followed by a random-swap
+// perturbation pass: "GPUs are randomly swapped between groups, and the
+// communication latency is recalculated. If a swap reduces latency, the new
+// assignment is kept."
+//
+// The latency matrix D_(i,j) drives both phases: the balanced k-means runs
+// on each GPU's latency-vector embedding, and the perturbation objective is
+// the caller-provided per-group cost (ring/INA latency estimate).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "topology/graph.hpp"
+
+namespace hero::planner {
+
+/// Dense symmetric latency matrix over an ordered GPU set.
+class LatencyMatrix {
+ public:
+  LatencyMatrix(std::vector<topo::NodeId> gpus, std::vector<Time> data);
+
+  [[nodiscard]] std::size_t size() const { return gpus_.size(); }
+  [[nodiscard]] const std::vector<topo::NodeId>& gpus() const { return gpus_; }
+  [[nodiscard]] Time at(std::size_t i, std::size_t j) const {
+    return data_[i * gpus_.size() + j];
+  }
+  [[nodiscard]] topo::NodeId gpu(std::size_t i) const { return gpus_[i]; }
+
+ private:
+  std::vector<topo::NodeId> gpus_;
+  std::vector<Time> data_;
+};
+
+/// Partition `matrix.size()` GPUs into `groups` balanced clusters of
+/// `group_size` each (groups * group_size must not exceed size; leftover
+/// GPUs stay unassigned). Returns per-group index lists into the matrix.
+/// Balanced k-means on latency-row embeddings with greedy capacity-aware
+/// assignment, a few Lloyd iterations.
+[[nodiscard]] std::vector<std::vector<std::size_t>> constrained_kmeans(
+    const LatencyMatrix& matrix, std::size_t groups, std::size_t group_size,
+    Rng& rng, std::size_t iterations = 8);
+
+/// Random-swap perturbation (Alg. 2 lines 12-22): repeatedly propose
+/// swapping a GPU between two random groups; keep improving swaps; stop
+/// after `max_rounds` rounds without improvement. `group_cost` maps a
+/// group's member indices to its estimated communication latency. Returns
+/// the number of accepted swaps.
+std::size_t perturb_groups(
+    std::vector<std::vector<std::size_t>>& groups,
+    const std::function<Time(const std::vector<std::size_t>&)>& group_cost,
+    Rng& rng, std::size_t max_rounds = 5);
+
+/// Total cost helper: sum of group costs.
+[[nodiscard]] Time total_group_cost(
+    const std::vector<std::vector<std::size_t>>& groups,
+    const std::function<Time(const std::vector<std::size_t>&)>& group_cost);
+
+}  // namespace hero::planner

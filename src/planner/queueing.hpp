@@ -1,0 +1,37 @@
+// Request queueing model (paper SIII-C1).
+//
+// Arrivals are Poisson; service times are highly predictable for LLM
+// inference, so the planner uses the Pollaczek-Khinchine mean-waiting-time
+// form quoted in the paper:
+//     T_queue = lambda * T_serve^2 / (2 * (1 - rho)),   rho = lambda*T_serve
+// An overloaded system (rho >= 1) has unbounded queueing delay.
+#pragma once
+
+#include <limits>
+
+#include "common/units.hpp"
+
+namespace hero::planner {
+
+struct QueueEstimate {
+  double utilization = 0.0;  ///< rho
+  Time queue_delay = 0.0;    ///< T_queue (infinity when rho >= 1)
+  bool stable = true;
+};
+
+[[nodiscard]] inline QueueEstimate pollaczek_khinchine(double arrival_rate,
+                                                       Time service_time) {
+  QueueEstimate est;
+  if (arrival_rate <= 0.0 || service_time <= 0.0) return est;
+  est.utilization = arrival_rate * service_time;
+  if (est.utilization >= 1.0) {
+    est.stable = false;
+    est.queue_delay = std::numeric_limits<Time>::infinity();
+    return est;
+  }
+  est.queue_delay = arrival_rate * service_time * service_time /
+                    (2.0 * (1.0 - est.utilization));
+  return est;
+}
+
+}  // namespace hero::planner

@@ -1,0 +1,391 @@
+#include "serving/cluster_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "gpusim/gpu_spec.hpp"
+
+namespace hero::serve {
+
+struct ClusterSim::Stage {
+  planner::GroupPlan plan;
+  coll::GroupId group = 0;
+  std::size_t layers = 0;
+  std::size_t p_tens = 1;
+  std::unique_ptr<gpu::KernelModel> kernel;
+};
+
+struct ClusterSim::ActiveRequest {
+  wl::Request req;
+  Time first_token = -1.0;
+  Time finish = -1.0;
+  std::size_t generated = 0;  ///< decode tokens produced (excl. first)
+  Bytes kv_reserved = 0.0;
+};
+
+struct ClusterSim::PrefillBatch {
+  std::vector<std::unique_ptr<ActiveRequest>> requests;
+  std::size_t k_in = 0;
+  std::size_t k_in2 = 0;
+  std::size_t stage = 0;
+  /// Outstanding pieces before the batch hands over to decode:
+  /// the stage chain (1) plus one per KV transfer pair.
+  std::size_t barrier = 0;
+};
+
+namespace {
+
+/// Slowest member decides a stage's kernel pace.
+gpu::GpuSpec slowest_spec(const topo::Graph& g,
+                          const std::vector<topo::NodeId>& gpus) {
+  gpu::GpuSpec worst;
+  double worst_flops = std::numeric_limits<double>::infinity();
+  for (topo::NodeId id : gpus) {
+    gpu::GpuSpec s = gpu::spec_of(g.node(id).gpu.model);
+    if (s.flops() < worst_flops) {
+      worst_flops = s.flops();
+      worst = s;
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+ClusterSim::ClusterSim(net::FlowNetwork& network,
+                       coll::CollectiveEngine& engine,
+                       coll::CommScheduler& scheduler,
+                       planner::PlanResult plan, ServingOptions options)
+    : network_(&network), engine_(&engine), scheduler_(&scheduler),
+      plan_(std::move(plan)), opts_(std::move(options)) {
+  if (!plan_.feasible) {
+    throw std::invalid_argument("ClusterSim: plan is infeasible");
+  }
+  setup_stages();
+
+  // KV-cache budget: decode GPU memory minus the weight shards.
+  const Bytes weights_per_gpu =
+      opts_.model.param_bytes() /
+      static_cast<double>(plan_.decode.parallel.gpus());
+  for (topo::NodeId g : decode_gpus_) {
+    kv_budget_ += std::max(
+        0.0, network_->graph().node(g).gpu.memory_free - weights_per_gpu);
+  }
+}
+
+ClusterSim::~ClusterSim() = default;
+
+sim::Simulator& ClusterSim::simulator() { return network_->simulator(); }
+
+void ClusterSim::setup_stages() {
+  auto build = [&](const planner::ClusterPlan& cluster,
+                   std::vector<Stage>& stages,
+                   std::vector<topo::NodeId>& gpus) {
+    const std::size_t stage_layers =
+        (opts_.model.layers + cluster.parallel.p_pipe - 1) /
+        cluster.parallel.p_pipe;
+    for (const planner::GroupPlan& gp : cluster.stages) {
+      Stage stage;
+      stage.plan = gp;
+      stage.layers = stage_layers;
+      stage.p_tens = std::max<std::size_t>(gp.gpus.size(), 1);
+      stage.group = scheduler_->register_group(gp.gpus);
+      stage.kernel = std::make_unique<gpu::KernelModel>(
+          slowest_spec(network_->graph(), gp.gpus), opts_.model,
+          opts_.kernel, opts_.seed + stages.size() + 17);
+      gpus.insert(gpus.end(), gp.gpus.begin(), gp.gpus.end());
+      stages.push_back(std::move(stage));
+    }
+  };
+  build(plan_.prefill, prefill_stages_, prefill_gpus_);
+  build(plan_.decode, decode_stages_, decode_gpus_);
+  if (prefill_stages_.empty() || decode_stages_.empty()) {
+    throw std::invalid_argument("ClusterSim: empty cluster plan");
+  }
+}
+
+Bytes ClusterSim::kv_bytes_per_request(std::size_t total_tokens) const {
+  return opts_.model.kv_bytes_per_token() *
+         static_cast<double>(total_tokens);
+}
+
+void ClusterSim::record_kv(Time now) {
+  const double util = kv_budget_ > 0 ? kv_used_ / kv_budget_ : 0.0;
+  kv_util_.observe(now, util);
+  if (kv_timeline_.empty() || kv_timeline_.back().utilization != util) {
+    kv_timeline_.push_back(KvSample{now, util});
+  }
+}
+
+void ClusterSim::on_arrival(wl::Request request) {
+  auto ar = std::make_unique<ActiveRequest>();
+  ar->req = request;
+  log::debug("t={} arrival req {} in={} out={}", simulator().now(),
+             request.id, request.input_tokens, request.output_tokens);
+  prefill_queue_.push_back(std::move(ar));
+  ++submitted_;
+  try_start_prefill();
+}
+
+void ClusterSim::try_start_prefill() {
+  if (prefill_running_ || prefill_queue_.empty()) return;
+
+  auto batch = std::make_unique<PrefillBatch>();
+  while (!prefill_queue_.empty()) {
+    const std::size_t next_tokens =
+        prefill_queue_.front()->req.input_tokens;
+    if (!batch->requests.empty() &&
+        batch->k_in + next_tokens > opts_.prefill_token_budget) {
+      break;
+    }
+    batch->k_in += next_tokens;
+    batch->k_in2 += next_tokens * next_tokens;
+    batch->requests.push_back(std::move(prefill_queue_.front()));
+    prefill_queue_.pop_front();
+  }
+
+  log::debug("t={} prefill batch start: {} reqs, k_in={}",
+             simulator().now(), batch->requests.size(), batch->k_in);
+  // Stage chain + per-pair KV transfers run to a joint barrier.
+  batch->barrier = 1;
+  prefill_running_ = std::move(batch);
+  start_kv_transfers(*prefill_running_);
+  run_prefill_stage(0);
+}
+
+void ClusterSim::start_kv_transfers(PrefillBatch& batch) {
+  // Layer-streamed KV transfer modeled as one concurrent flow per
+  // (prefill GPU -> paired decode GPU), overlapped with prefill compute.
+  Bytes per_gpu = 0.0;
+  for (const auto& ar : batch.requests) {
+    per_gpu += opts_.model.kv_transfer_bytes_per_gpu(
+        ar->req.input_tokens, plan_.prefill.parallel.p_tens);
+  }
+  if (per_gpu <= 0.0 || prefill_gpus_.empty()) return;
+  for (std::size_t i = 0; i < prefill_gpus_.size(); ++i) {
+    const std::size_t j = i * decode_gpus_.size() / prefill_gpus_.size();
+    const topo::Path path =
+        scheduler_->unicast_path(prefill_gpus_[i], decode_gpus_[j]);
+    ++batch.barrier;
+    net::TransferOptions opts;
+    opts.pipelined = true;  // RDMA bulk stream, not per-hop store-and-forward
+    opts.on_complete = [this](net::TransferId) { on_prefill_piece_done(); };
+    network_->start_transfer(path, per_gpu, std::move(opts));
+  }
+}
+
+void ClusterSim::run_prefill_stage(std::size_t stage_index) {
+  Stage& stage = prefill_stages_[stage_index];
+  PrefillBatch& batch = *prefill_running_;
+  const Time compute = stage.kernel->prefill_time(
+      batch.k_in, batch.k_in2, stage.layers, stage.p_tens);
+  simulator().schedule_in(compute, [this, stage_index] {
+    Stage& st = prefill_stages_[stage_index];
+    PrefillBatch& b = *prefill_running_;
+    const Bytes volume =
+        opts_.model.iteration_sync_volume(std::max<std::size_t>(b.k_in, 1),
+                                          st.layers);
+    if (st.p_tens <= 1) {
+      // No tensor parallelism: nothing to synchronize.
+      simulator().schedule_in(0.0, [this, stage_index] {
+        if (stage_index + 1 < prefill_stages_.size()) {
+          run_prefill_stage(stage_index + 1);
+        } else {
+          const Time now = simulator().now();
+          for (auto& ar : prefill_running_->requests) {
+            ar->first_token = now;
+          }
+          on_prefill_piece_done();
+        }
+      });
+      return;
+    }
+    coll::AllReducePlan plan = scheduler_->all_reduce_plan(st.group, volume);
+    engine_->all_reduce(std::move(plan),
+                        [this, stage_index](const coll::AllReduceResult&) {
+                          if (stage_index + 1 < prefill_stages_.size()) {
+                            run_prefill_stage(stage_index + 1);
+                          } else {
+                            const Time now = simulator().now();
+                            for (auto& ar : prefill_running_->requests) {
+                              ar->first_token = now;
+                            }
+                            on_prefill_piece_done();
+                          }
+                        });
+  });
+}
+
+void ClusterSim::on_prefill_piece_done() {
+  PrefillBatch& batch = *prefill_running_;
+  if (--batch.barrier != 0) return;
+  log::debug("t={} prefill batch done ({} reqs)", simulator().now(),
+             batch.requests.size());
+  // Prefill and KV transfer both finished: hand to decode.
+  for (auto& ar : batch.requests) {
+    decode_wait_queue_.push_back(std::move(ar));
+  }
+  prefill_running_.reset();
+  try_admit_decode();
+  try_start_prefill();
+}
+
+void ClusterSim::try_admit_decode() {
+  const Time now = simulator().now();
+  while (!decode_wait_queue_.empty()) {
+    ActiveRequest& ar = *decode_wait_queue_.front();
+    const std::size_t total_tokens =
+        ar.req.input_tokens + std::max<std::size_t>(ar.req.output_tokens, 1);
+    const Bytes need = kv_bytes_per_request(total_tokens);
+    if (kv_used_ + need > kv_budget_) break;  // memory-gated queueing
+
+    auto owned = std::move(decode_wait_queue_.front());
+    decode_wait_queue_.pop_front();
+    owned->kv_reserved = need;
+    kv_used_ += need;
+
+    if (owned->req.output_tokens <= 1) {
+      // The prefill token was the whole response.
+      owned->finish = now;
+      kv_used_ -= owned->kv_reserved;
+      retired_.push_back(std::move(owned));
+    } else {
+      decoding_.push_back(std::move(owned));
+    }
+  }
+  record_kv(now);
+  if (!decode_busy_ && !decoding_.empty()) start_decode_iteration();
+}
+
+void ClusterSim::start_decode_iteration() {
+  decode_busy_ = true;
+  log::debug("t={} decode iteration: {} active, kv={}%", simulator().now(),
+             decoding_.size(),
+             kv_budget_ > 0 ? 100.0 * kv_used_ / kv_budget_ : 0.0);
+  const std::size_t batch_size =
+      std::min(decoding_.size(), opts_.decode_batch_limit);
+  std::size_t ctx = 0;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    ctx += decoding_[i]->req.input_tokens + decoding_[i]->generated + 1;
+  }
+
+  // All pipeline stages run concurrently (steady-state pipelining).
+  auto pending = std::make_shared<std::size_t>(decode_stages_.size());
+  for (Stage& stage : decode_stages_) {
+    const Time compute = stage.kernel->decode_time(batch_size, ctx,
+                                                   stage.layers,
+                                                   stage.p_tens);
+    simulator().schedule_in(compute, [this, &stage, batch_size, pending] {
+      auto finish_piece = [this, batch_size, pending] {
+        if (--*pending == 0) on_decode_iteration_done(batch_size);
+      };
+      if (stage.p_tens <= 1) {
+        finish_piece();
+        return;
+      }
+      const Bytes volume =
+          opts_.model.iteration_sync_volume(batch_size, stage.layers);
+      coll::AllReducePlan plan =
+          scheduler_->all_reduce_plan(stage.group, volume);
+      engine_->all_reduce(std::move(plan),
+                          [finish_piece](const coll::AllReduceResult&) {
+                            finish_piece();
+                          });
+    });
+  }
+}
+
+void ClusterSim::on_decode_iteration_done(std::size_t batch_size) {
+  const Time now = simulator().now();
+  batch_size = std::min(batch_size, decoding_.size());
+  for (std::size_t i = 0; i < batch_size; ++i) ++decoding_[i]->generated;
+
+  // Retire finished requests (first token came from prefill, so a request
+  // needs output_tokens - 1 decode steps).
+  for (std::size_t i = batch_size; i-- > 0;) {
+    ActiveRequest& ar = *decoding_[i];
+    if (ar.generated + 1 >= ar.req.output_tokens) {
+      ar.finish = now;
+      kv_used_ -= ar.kv_reserved;
+      log::debug("t={} retire req {}", now, ar.req.id);
+      retired_.push_back(std::move(decoding_[i]));
+      decoding_.erase(decoding_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  record_kv(now);
+  decode_busy_ = false;
+  try_admit_decode();
+  if (!decode_busy_ && !decoding_.empty()) start_decode_iteration();
+}
+
+ServingReport ClusterSim::run(const wl::Trace& trace) {
+  sim::Simulator& sim = simulator();
+  const std::uint64_t ops_before = engine_->ops_completed;
+  const std::uint64_t fb_before = engine_->fallbacks_taken;
+  record_kv(sim.now());
+
+  for (const wl::Request& r : trace) {
+    sim.schedule(r.arrival, [this, r] { on_arrival(r); });
+  }
+
+  while (retired_.size() < trace.size() && sim.now() < opts_.max_sim_time) {
+    if (!sim.step()) break;
+  }
+  if (retired_.size() < trace.size()) {
+    log::warn(
+        "serving run incomplete: t={} retired={}/{} prefill_q={} "
+        "prefill_running={} decode_wait={} decoding={} transfers={} "
+        "pending_events={}",
+        sim.now(), retired_.size(), trace.size(), prefill_queue_.size(),
+        prefill_running_ != nullptr, decode_wait_queue_.size(),
+        decoding_.size(), network_->active_transfers(),
+        sim.pending_events());
+    network_->debug_dump();
+  }
+
+  ServingReport report;
+  report.submitted = submitted_;
+  report.gpus_used = prefill_gpus_.size() + decode_gpus_.size();
+  Time last_finish = 0.0;
+  std::size_t within_sla = 0;
+  for (const auto& ar : retired_) {
+    if (ar->finish < 0) continue;
+    ++report.completed;
+    last_finish = std::max(last_finish, ar->finish);
+    const Time ttft = ar->first_token - ar->req.arrival;
+    report.ttft.add(ttft);
+    Time tpot = 0.0;
+    if (ar->req.output_tokens > 1) {
+      tpot = (ar->finish - ar->first_token) /
+             static_cast<double>(ar->req.output_tokens - 1);
+      report.tpot.add(tpot);
+    }
+    if (ttft <= opts_.sla_ttft &&
+        (ar->req.output_tokens <= 1 || tpot <= opts_.sla_tpot)) {
+      ++within_sla;
+    }
+  }
+  report.sla_attainment =
+      trace.empty() ? 0.0
+                    : static_cast<double>(within_sla) /
+                          static_cast<double>(trace.size());
+  report.makespan = last_finish;
+  report.requests_per_second =
+      last_finish > 0 ? static_cast<double>(report.completed) / last_finish
+                      : 0.0;
+  report.per_gpu_goodput =
+      report.gpus_used > 0
+          ? report.requests_per_second /
+                static_cast<double>(report.gpus_used)
+          : 0.0;
+  record_kv(sim.now());
+  report.kv_utilization_avg = kv_util_.average();
+  report.kv_utilization_peak = kv_util_.peak();
+  report.kv_timeline = kv_timeline_;
+  report.collectives = engine_->ops_completed - ops_before;
+  report.ina_fallbacks = engine_->fallbacks_taken - fb_before;
+  return report;
+}
+
+}  // namespace hero::serve

@@ -1,0 +1,139 @@
+// Disaggregated LLM serving cluster simulator (the role APEX plays in the
+// paper's evaluation).
+//
+// Executes a request trace against a planner-produced deployment:
+//   * iteration-level continuous batching (Orca-style) in both clusters;
+//   * the prefill pipeline runs a batch through its stages sequentially;
+//     each stage is KernelModel compute followed by one aggregated
+//     tensor-parallel all-reduce whose scheme/paths come from the
+//     CommScheduler (HeroServe online policy or a static baseline);
+//   * KV caches stream to the paired decode GPUs concurrently with prefill
+//     compute (layer-wise streaming, as disaggregated serving systems do);
+//     a request enters decode when both prefill and its KV transfer finish;
+//   * decode admission is gated by KV-cache memory (full-sequence
+//     reservation); when memory is exhausted requests queue — the paper's
+//     "insufficient memory => additional queuing delay";
+//   * decode iterations run all pipeline stages concurrently (steady-state
+//     pipelining); each iteration appends one token to every running
+//     request.
+//
+// Metrics: per-request TTFT and TPOT, joint SLA attainment, KV-cache
+// utilization over time (Fig. 10), aggregate goodput.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "collectives/comm_scheduler.hpp"
+#include "collectives/engine.hpp"
+#include "common/stats.hpp"
+#include "gpusim/kernel_model.hpp"
+#include "planner/planner.hpp"
+#include "workload/trace.hpp"
+
+namespace hero::serve {
+
+struct ServingOptions {
+  llm::ModelConfig model;
+  Time sla_ttft = 2.5;
+  Time sla_tpot = 0.15;
+  /// Token budget of one prefill iteration (continuous-batching chunk).
+  std::size_t prefill_token_budget = 16384;
+  /// Maximum requests decoded per iteration.
+  std::size_t decode_batch_limit = 128;
+  /// Fraction of GPU memory reserved for weights (rest hosts KV cache);
+  /// must match the planner's r_frac.
+  double r_frac = 0.8;
+  gpu::KernelModelOptions kernel;
+  std::uint64_t seed = 1;
+  /// Abort the run if simulated time exceeds this (hung/overloaded system).
+  Time max_sim_time = 3600.0;
+};
+
+/// One sample of decode-cluster KV occupancy (Fig. 10's time series).
+struct KvSample {
+  Time time = 0.0;
+  double utilization = 0.0;
+};
+
+struct ServingReport {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  Percentiles ttft;
+  Percentiles tpot;
+  double sla_attainment = 0.0;  ///< fraction meeting both TTFT and TPOT SLAs
+  Time makespan = 0.0;
+  double requests_per_second = 0.0;
+  double per_gpu_goodput = 0.0;  ///< the paper's scalability metric basis
+  double kv_utilization_avg = 0.0;  ///< Fig. 10 metric
+  double kv_utilization_peak = 0.0;
+  std::vector<KvSample> kv_timeline;  ///< occupancy at every change point
+  std::uint64_t collectives = 0;
+  std::uint64_t ina_fallbacks = 0;
+  std::size_t gpus_used = 0;
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(net::FlowNetwork& network, coll::CollectiveEngine& engine,
+             coll::CommScheduler& scheduler, planner::PlanResult plan,
+             ServingOptions options);
+
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+  ~ClusterSim();
+
+  /// Execute the trace to completion (or options.max_sim_time) and report.
+  [[nodiscard]] ServingReport run(const wl::Trace& trace);
+
+ private:
+  struct Stage;
+  struct ActiveRequest;
+  struct PrefillBatch;
+
+  net::FlowNetwork* network_;
+  coll::CollectiveEngine* engine_;
+  coll::CommScheduler* scheduler_;
+  planner::PlanResult plan_;
+  ServingOptions opts_;
+
+  std::vector<Stage> prefill_stages_;
+  std::vector<Stage> decode_stages_;
+  std::vector<topo::NodeId> prefill_gpus_;
+  std::vector<topo::NodeId> decode_gpus_;
+
+  // Request flow.
+  std::deque<std::unique_ptr<ActiveRequest>> prefill_queue_;
+  std::unique_ptr<PrefillBatch> prefill_running_;
+  std::deque<std::unique_ptr<ActiveRequest>> decode_wait_queue_;
+  std::vector<std::unique_ptr<ActiveRequest>> decoding_;
+  bool decode_busy_ = false;
+
+  // KV memory accounting (whole decode cluster).
+  Bytes kv_budget_ = 0;
+  Bytes kv_used_ = 0;
+  TimeWeighted kv_util_;
+  std::vector<KvSample> kv_timeline_;
+
+  // Metrics.
+  std::vector<std::unique_ptr<ActiveRequest>> retired_;
+  std::size_t submitted_ = 0;
+
+  [[nodiscard]] sim::Simulator& simulator();
+  void setup_stages();
+  void on_arrival(wl::Request request);
+  void try_start_prefill();
+  void run_prefill_stage(std::size_t stage_index);
+  void on_prefill_piece_done();
+  void start_kv_transfers(PrefillBatch& batch);
+  void try_admit_decode();
+  void start_decode_iteration();
+  void on_decode_iteration_done(std::size_t batch_size);
+  void record_kv(Time now);
+
+  [[nodiscard]] Bytes kv_bytes_per_request(std::size_t total_tokens) const;
+};
+
+}  // namespace hero::serve

@@ -1,0 +1,72 @@
+#include "switchsim/aggregator.hpp"
+
+#include <stdexcept>
+
+namespace hero::sw {
+
+AggregatorPool::AggregatorPool(std::uint32_t total_slots,
+                               std::uint32_t entry_values,
+                               FixedPointFormat fmt)
+    : total_slots_(total_slots), entry_values_(entry_values), fmt_(fmt) {
+  if (total_slots == 0 || entry_values == 0) {
+    throw std::invalid_argument("AggregatorPool: zero-sized pool/entry");
+  }
+}
+
+bool AggregatorPool::install(AggregatorKey key, std::uint32_t fanin) {
+  if (fanin == 0) throw std::invalid_argument("install: fanin == 0");
+  if (table_.contains(key)) return true;  // idempotent re-install
+  if (slots_in_use() >= total_slots_) return false;
+  AggregatorSlot slot;
+  slot.value.assign(entry_values_, 0);
+  slot.fanin = fanin;
+  slot.seen.assign(fanin, false);
+  table_.emplace(key, std::move(slot));
+  return true;
+}
+
+void AggregatorPool::recycle(AggregatorKey key) { table_.erase(key); }
+
+ContributeResult AggregatorPool::contribute(
+    AggregatorKey key, WorkerId worker,
+    std::span<const std::int32_t> values) {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    ++packets_missed;
+    return ContributeResult::kNoSlot;
+  }
+  AggregatorSlot& slot = it->second;
+  if (worker >= slot.fanin) {
+    throw std::invalid_argument("contribute: worker id >= fanin");
+  }
+  if (values.size() > slot.value.size()) {
+    throw std::invalid_argument("contribute: payload wider than slot");
+  }
+  if (slot.seen[worker]) {
+    ++duplicates_dropped;
+    return ContributeResult::kDuplicate;
+  }
+  slot.seen[worker] = true;
+  ++slot.count;
+  aggregate_into(std::span<std::int32_t>(slot.value.data(), values.size()),
+                 values);
+  ++packets_aggregated;
+  return slot.count == slot.fanin ? ContributeResult::kCompleted
+                                  : ContributeResult::kAccepted;
+}
+
+std::optional<std::vector<std::int32_t>> AggregatorPool::read(
+    AggregatorKey key) const {
+  auto it = table_.find(key);
+  if (it == table_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::optional<std::vector<double>> AggregatorPool::read_decoded(
+    AggregatorKey key) const {
+  auto raw = read(key);
+  if (!raw) return std::nullopt;
+  return decode_vector(*raw, fmt_);
+}
+
+}  // namespace hero::sw

@@ -1,0 +1,107 @@
+// Functional model of the programmable switch's INA data plane (paper SIV).
+//
+// "The aggregation memory space is organized as a pool of fixed-size
+//  aggregator slots across multiple switch pipelines. aggregation_table is
+//  an exact-match table with keys based on the port and an aggregator ID
+//  ... The value field stores a partially aggregated vector (whose elements
+//  are represented as fixed-point integers) and a counter indicating the
+//  number of contributions received."
+//
+// This module reproduces that mechanism bit-for-bit at the slot level:
+// fixed-point saturating aggregation, contribution counters with duplicate
+// suppression (a retransmitted packet must not be double-counted), and an
+// exact-match table mapping (job, chunk) keys to slots. The *timing* of INA
+// traffic is handled separately by SwitchAgent + the flow network; this class
+// answers "what value comes out and when is a chunk complete".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+
+namespace hero::sw {
+
+using JobId = std::uint64_t;
+using WorkerId = std::uint32_t;
+
+struct AggregatorKey {
+  JobId job = 0;
+  std::uint32_t chunk = 0;
+
+  bool operator==(const AggregatorKey&) const = default;
+};
+
+struct AggregatorKeyHash {
+  std::size_t operator()(const AggregatorKey& k) const {
+    return std::hash<std::uint64_t>{}(k.job * 0x9e3779b97f4a7c15ull + k.chunk);
+  }
+};
+
+/// Result of offering a contribution to the data plane.
+enum class ContributeResult : std::uint8_t {
+  kAccepted,    ///< folded into the slot, more contributions pending
+  kCompleted,   ///< this contribution completed the aggregation
+  kDuplicate,   ///< worker already contributed to this chunk (retransmit)
+  kNoSlot,      ///< exact-match miss and pool exhausted (ATP: forward to PS)
+};
+
+struct AggregatorSlot {
+  std::vector<std::int32_t> value;
+  std::uint32_t fanin = 0;
+  std::uint32_t count = 0;
+  std::vector<bool> seen;  ///< per-worker contribution bitmap
+};
+
+class AggregatorPool {
+ public:
+  /// `total_slots`: pool size (switch SRAM budget); `entry_values`: vector
+  /// width of one slot (the paper's M_ina in elements).
+  AggregatorPool(std::uint32_t total_slots, std::uint32_t entry_values,
+                 FixedPointFormat fmt = {});
+
+  /// Install an exact-match entry for (job, chunk) expecting `fanin`
+  /// contributions from workers [0, fanin). Fails (returns false) when the
+  /// pool is exhausted.
+  bool install(AggregatorKey key, std::uint32_t fanin);
+
+  /// Remove an entry, freeing its slot. No-op when absent.
+  void recycle(AggregatorKey key);
+
+  /// Offer worker `worker`'s contribution (already fixed-point encoded by
+  /// the NIC/host). Values shorter than the entry width are zero-padded,
+  /// longer ones rejected via std::invalid_argument.
+  ContributeResult contribute(AggregatorKey key, WorkerId worker,
+                              std::span<const std::int32_t> values);
+
+  /// Read a completed (or partial) aggregate; nullopt on exact-match miss.
+  [[nodiscard]] std::optional<std::vector<std::int32_t>> read(
+      AggregatorKey key) const;
+
+  /// Decode a completed aggregate back to floats.
+  [[nodiscard]] std::optional<std::vector<double>> read_decoded(
+      AggregatorKey key) const;
+
+  [[nodiscard]] std::uint32_t total_slots() const { return total_slots_; }
+  [[nodiscard]] std::uint32_t slots_in_use() const {
+    return static_cast<std::uint32_t>(table_.size());
+  }
+  [[nodiscard]] std::uint32_t entry_values() const { return entry_values_; }
+  [[nodiscard]] FixedPointFormat format() const { return fmt_; }
+
+  // --- hardware counters (control plane polls these) ---
+  std::uint64_t packets_aggregated = 0;
+  std::uint64_t packets_missed = 0;     ///< exact-match misses (kNoSlot)
+  std::uint64_t duplicates_dropped = 0;
+
+ private:
+  std::uint32_t total_slots_;
+  std::uint32_t entry_values_;
+  FixedPointFormat fmt_;
+  std::unordered_map<AggregatorKey, AggregatorSlot, AggregatorKeyHash> table_;
+};
+
+}  // namespace hero::sw

@@ -1,0 +1,145 @@
+#include "switchsim/ina_transport.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hero::sw {
+
+InaTransport::InaTransport(AggregatorPool& pool, JobId job,
+                           std::vector<std::vector<double>> workers,
+                           InaTransportOptions opts, std::uint64_t seed)
+    : pool_(&pool), job_(job), workers_(std::move(workers)), opts_(opts),
+      rng_(seed) {
+  if (workers_.empty()) {
+    throw std::invalid_argument("InaTransport: no workers");
+  }
+  length_ = workers_.front().size();
+  for (const auto& w : workers_) {
+    if (w.size() != length_) {
+      throw std::invalid_argument("InaTransport: ragged worker tensors");
+    }
+  }
+  const std::size_t entry = pool_->entry_values();
+  chunks_ = (length_ + entry - 1) / entry;
+  if (opts_.window_slots == 0) {
+    throw std::invalid_argument("InaTransport: zero window");
+  }
+}
+
+std::vector<double> InaTransport::reference() const {
+  std::vector<double> out(length_, 0.0);
+  for (const auto& w : workers_) {
+    for (std::size_t i = 0; i < length_; ++i) out[i] += w[i];
+  }
+  return out;
+}
+
+InaTransportStats InaTransport::run() {
+  InaTransportStats stats;
+  const std::size_t entry = pool_->entry_values();
+  const auto fanin = static_cast<std::uint32_t>(workers_.size());
+
+  result_.assign(length_, 0.0);
+  std::vector<bool> chunk_done(chunks_, false);
+  // Per (chunk, worker): has the worker's contribution been accepted?
+  std::vector<std::vector<bool>> acked(
+      chunks_, std::vector<bool>(workers_.size(), false));
+
+  // Pre-encode worker chunks once (the NIC-side fixed-point conversion).
+  std::vector<std::vector<std::vector<std::int32_t>>> encoded(
+      workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    encoded[w].resize(chunks_);
+    for (std::size_t c = 0; c < chunks_; ++c) {
+      const std::size_t begin = c * entry;
+      const std::size_t end = std::min(begin + entry, length_);
+      encoded[w][c] = encode_vector(
+          std::span<const double>(workers_[w].data() + begin, end - begin),
+          opts_.format);
+    }
+  }
+
+  std::size_t next_chunk = 0;           // next chunk to admit to the window
+  std::vector<std::size_t> window;      // chunks currently holding slots
+
+  while (stats.rounds < opts_.max_rounds) {
+    ++stats.rounds;
+
+    // Refill the window (the sender's slot allocation; exact-match entries
+    // are installed through the control-plane API).
+    while (window.size() < opts_.window_slots && next_chunk < chunks_) {
+      const AggregatorKey key{job_, static_cast<std::uint32_t>(next_chunk)};
+      if (!pool_->install(key, fanin)) break;  // pool shared with others
+      window.push_back(next_chunk);
+      ++next_chunk;
+    }
+    if (window.empty()) {
+      if (next_chunk >= chunks_) break;  // all chunks drained
+      continue;  // pool exhausted by other tenants; retry
+    }
+
+    // One protocol round: every worker (re)transmits its unacked packets
+    // for every window chunk.
+    for (std::size_t c : window) {
+      for (std::size_t w = 0; w < workers_.size(); ++w) {
+        if (acked[c][w]) continue;
+        ++stats.packets_sent;
+        if (rng_.bernoulli(opts_.packet_loss)) {
+          ++stats.packets_lost;
+          continue;  // lost on the wire; retransmitted next round
+        }
+        const AggregatorKey key{job_, static_cast<std::uint32_t>(c)};
+        const ContributeResult r = pool_->contribute(
+            key, static_cast<WorkerId>(w), encoded[w][c]);
+        switch (r) {
+          case ContributeResult::kAccepted:
+          case ContributeResult::kCompleted:
+            acked[c][w] = true;
+            break;
+          case ContributeResult::kDuplicate:
+            // A retransmit raced the (lost) ack; idempotent by design.
+            ++stats.duplicates_suppressed;
+            acked[c][w] = true;
+            break;
+          case ContributeResult::kNoSlot:
+            break;  // evicted; retried after re-install
+        }
+      }
+    }
+
+    // Completed chunks multicast back and recycle their slots.
+    std::vector<std::size_t> still_pending;
+    for (std::size_t c : window) {
+      const bool complete =
+          std::all_of(acked[c].begin(), acked[c].end(),
+                      [](bool b) { return b; });
+      if (!complete) {
+        still_pending.push_back(c);
+        continue;
+      }
+      const AggregatorKey key{job_, static_cast<std::uint32_t>(c)};
+      const auto decoded = pool_->read_decoded(key);
+      const std::size_t begin = c * entry;
+      for (std::size_t i = 0;
+           i < decoded->size() && begin + i < length_; ++i) {
+        result_[begin + i] = (*decoded)[i];
+      }
+      pool_->recycle(key);
+      chunk_done[c] = true;
+    }
+    window.swap(still_pending);
+
+    // Count retransmissions: every packet beyond one per (chunk, worker).
+    if (window.empty() && next_chunk >= chunks_) break;
+  }
+
+  stats.completed = std::all_of(chunk_done.begin(), chunk_done.end(),
+                                [](bool b) { return b; });
+  const std::uint64_t minimum =
+      static_cast<std::uint64_t>(chunks_) * workers_.size();
+  stats.retransmissions =
+      stats.packets_sent > minimum ? stats.packets_sent - minimum : 0;
+  return stats;
+}
+
+}  // namespace hero::sw

@@ -1,0 +1,75 @@
+// Packet-level INA transport: the functional SwitchML/ATP wire protocol on
+// top of the aggregator pool.
+//
+// The DES engine (collectives/) models *when* an in-network all-reduce
+// finishes; this module models *what the data plane actually computes*,
+// packet by packet: tensors are split into aggregator-entry-sized chunks,
+// workers stream them through a bounded slot window, the switch folds each
+// contribution with fixed-point saturating arithmetic and multicasts the
+// completed chunk back, and lost packets are retransmitted with duplicate
+// suppression (the per-worker `seen` bitmap keeps retransmits idempotent —
+// the property SwitchML's protocol depends on).
+//
+// Used by tests to verify numerical correctness of the INA path end to end
+// and by the quickstart documentation as the "what the P4 program does"
+// reference; it is deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "switchsim/aggregator.hpp"
+
+namespace hero::sw {
+
+struct InaTransportOptions {
+  std::uint32_t window_slots = 32;    ///< aggregator slots the job may hold
+  double packet_loss = 0.0;           ///< per-packet loss probability
+  std::uint32_t max_rounds = 10000;   ///< safety bound on protocol rounds
+  FixedPointFormat format;
+};
+
+struct InaTransportStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint32_t rounds = 0;
+  bool completed = false;
+};
+
+/// One all-reduce job over the packetized protocol.
+class InaTransport {
+ public:
+  /// `pool` provides the switch slots (shared with other jobs); `workers`
+  /// vectors must all have equal length.
+  InaTransport(AggregatorPool& pool, JobId job,
+               std::vector<std::vector<double>> workers,
+               InaTransportOptions opts = {}, std::uint64_t seed = 1);
+
+  /// Run the protocol to completion (or until max_rounds). Returns per-run
+  /// statistics; results are readable afterwards.
+  InaTransportStats run();
+
+  /// The aggregated tensor every worker holds after run().
+  [[nodiscard]] const std::vector<double>& result() const { return result_; }
+
+  /// Reference result (plain double summation) for verification.
+  [[nodiscard]] std::vector<double> reference() const;
+
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_; }
+
+ private:
+  AggregatorPool* pool_;
+  JobId job_;
+  std::vector<std::vector<double>> workers_;
+  InaTransportOptions opts_;
+  Rng rng_;
+  std::size_t length_ = 0;
+  std::size_t chunks_ = 0;
+  std::vector<double> result_;
+};
+
+}  // namespace hero::sw

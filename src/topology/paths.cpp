@@ -1,0 +1,246 @@
+#include "topology/paths.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+namespace hero::topo {
+namespace {
+
+Bandwidth edge_bandwidth(const Graph& g, EdgeId e,
+                         std::span<const Bandwidth> residual) {
+  if (!residual.empty()) return residual[e];
+  return g.edge(e).capacity;
+}
+
+// Dijkstra over (node, arrived-via-NVLink) states so the GPU-relay rule can
+// be enforced: leaving an interior GPU requires the incoming or outgoing hop
+// to be NVLink.
+struct State {
+  double dist;
+  NodeId node;
+  std::uint8_t via_nvlink;  // 1 if the edge that reached `node` was NVLink
+  bool operator>(const State& o) const { return dist > o.dist; }
+};
+
+struct SearchResult {
+  // prev[(node, via)] = (prev_node, prev_via, edge)
+  struct Prev {
+    NodeId node = kInvalidNode;
+    std::uint8_t via = 0;
+    EdgeId edge = kInvalidEdge;
+  };
+  std::vector<std::array<double, 2>> dist;
+  std::vector<std::array<Prev, 2>> prev;
+};
+
+SearchResult dijkstra(const Graph& g, NodeId src, const PathOptions& opts,
+                      std::span<const double> edge_weight_scale) {
+  const double inf = std::numeric_limits<double>::infinity();
+  SearchResult r;
+  r.dist.assign(g.node_count(), {inf, inf});
+  r.prev.assign(g.node_count(), {});
+
+  std::priority_queue<State, std::vector<State>, std::greater<>> pq;
+  r.dist[src][0] = 0.0;
+  pq.push(State{0.0, src, 0});
+
+  while (!pq.empty()) {
+    const State cur = pq.top();
+    pq.pop();
+    if (cur.dist > r.dist[cur.node][cur.via_nvlink]) continue;
+
+    const Node& n = g.node(cur.node);
+    const bool is_source = cur.node == src;
+    // Plain servers never relay traffic.
+    if (!is_source && n.kind == NodeKind::kServer) continue;
+
+    for (const Adjacency& adj : g.neighbors(cur.node)) {
+      const Edge& e = g.edge(adj.edge);
+      if (e.kind == LinkKind::kNvLink && !opts.constraints.allow_nvlink)
+        continue;
+      if (e.kind == LinkKind::kEthernet && !opts.constraints.allow_ethernet)
+        continue;
+      // GPU relay rule: an interior GPU must touch NVLink on one side.
+      if (!is_source && n.kind == NodeKind::kGpu && cur.via_nvlink == 0 &&
+          e.kind != LinkKind::kNvLink) {
+        continue;
+      }
+      const Bandwidth bw = edge_bandwidth(g, adj.edge, opts.residual_bw);
+      if (bw <= 0) continue;
+      double w = opts.ref_bytes / bw + e.latency;
+      if (!edge_weight_scale.empty()) w *= edge_weight_scale[adj.edge];
+      const double nd = cur.dist + w;
+      const std::uint8_t via = e.kind == LinkKind::kNvLink ? 1 : 0;
+      if (nd < r.dist[adj.peer][via]) {
+        r.dist[adj.peer][via] = nd;
+        r.prev[adj.peer][via] = SearchResult::Prev{cur.node, cur.via_nvlink,
+                                                   adj.edge};
+        pq.push(State{nd, adj.peer, via});
+      }
+    }
+  }
+  return r;
+}
+
+std::optional<Path> extract_path(const SearchResult& r, NodeId src,
+                                 NodeId dst) {
+  const std::uint8_t best_via =
+      r.dist[dst][0] <= r.dist[dst][1] ? std::uint8_t{0} : std::uint8_t{1};
+  if (r.dist[dst][best_via] == std::numeric_limits<double>::infinity()) {
+    return std::nullopt;
+  }
+  Path p;
+  NodeId node = dst;
+  std::uint8_t via = best_via;
+  while (node != src) {
+    const auto& prev = r.prev[node][via];
+    p.nodes.push_back(node);
+    p.edges.push_back(prev.edge);
+    const NodeId pn = prev.node;
+    via = prev.via;
+    node = pn;
+  }
+  p.nodes.push_back(src);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.edges.begin(), p.edges.end());
+  return p;
+}
+
+}  // namespace
+
+Time Path::latency(const Graph& g, Bytes bytes,
+                   std::span<const Bandwidth> residual_bw) const {
+  Time total = 0.0;
+  for (EdgeId e : edges) {
+    const Bandwidth bw = edge_bandwidth(g, e, residual_bw);
+    total += transfer_time(bytes, bw) + g.edge(e).latency;
+  }
+  return total;
+}
+
+Bandwidth Path::bottleneck(const Graph& g,
+                           std::span<const Bandwidth> residual_bw) const {
+  Bandwidth min_bw = std::numeric_limits<Bandwidth>::infinity();
+  for (EdgeId e : edges) {
+    min_bw = std::min(min_bw, edge_bandwidth(g, e, residual_bw));
+  }
+  return edges.empty() ? 0.0 : min_bw;
+}
+
+bool Path::uses_nvlink(const Graph& g) const {
+  return std::any_of(edges.begin(), edges.end(), [&](EdgeId e) {
+    return g.edge(e).kind == LinkKind::kNvLink;
+  });
+}
+
+namespace {
+
+/// Direct NVLink edge between src and dst, if any.
+std::optional<Path> direct_nvlink(const Graph& g, NodeId src, NodeId dst) {
+  for (const Adjacency& adj : g.neighbors(src)) {
+    if (adj.peer == dst && g.edge(adj.edge).kind == LinkKind::kNvLink) {
+      return Path{{src, dst}, {adj.edge}};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst,
+                                  const PathOptions& opts) {
+  if (src == dst) return Path{{src}, {}};
+  const SearchResult r = dijkstra(g, src, opts, {});
+  std::optional<Path> found = extract_path(r, src, dst);
+  if (!opts.constraints.allow_nvlink && opts.constraints.allow_nvlink_direct) {
+    if (auto direct = direct_nvlink(g, src, dst)) {
+      if (!found ||
+          direct->latency(g, opts.ref_bytes, opts.residual_bw) <
+              found->latency(g, opts.ref_bytes, opts.residual_bw)) {
+        return direct;
+      }
+    }
+  }
+  return found;
+}
+
+std::vector<Path> alternate_paths(const Graph& g, NodeId src, NodeId dst,
+                                  std::size_t k, const PathOptions& opts) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  std::vector<double> scale(g.edge_count(), 1.0);
+  constexpr double kPenalty = 4.0;
+  for (std::size_t round = 0; round < 2 * k && result.size() < k; ++round) {
+    const SearchResult r = dijkstra(g, src, opts, scale);
+    auto path = extract_path(r, src, dst);
+    if (!path) break;
+    const bool duplicate =
+        std::any_of(result.begin(), result.end(),
+                    [&](const Path& p) { return p.edges == path->edges; });
+    for (EdgeId e : path->edges) scale[e] *= kPenalty;
+    if (!duplicate) result.push_back(std::move(*path));
+  }
+  return result;
+}
+
+PathStore::PathStore(const Graph& g, std::vector<NodeId> terminals,
+                     const PathOptions& opts)
+    : graph_(&g), terminals_(std::move(terminals)) {
+  // Snapshot residual bandwidth so the store stays valid after caller
+  // mutations.
+  residual_copy_.assign(opts.residual_bw.begin(), opts.residual_bw.end());
+
+  terminal_index_.assign(g.node_count(), -1);
+  for (std::size_t i = 0; i < terminals_.size(); ++i) {
+    terminal_index_[terminals_[i]] = static_cast<std::int32_t>(i);
+  }
+  const bool direct_override = !opts.constraints.allow_nvlink &&
+                               opts.constraints.allow_nvlink_direct;
+  paths_.assign(terminals_.size(), {});
+  for (std::size_t i = 0; i < terminals_.size(); ++i) {
+    paths_[i].assign(terminals_.size(), std::nullopt);
+    const SearchResult r = dijkstra(g, terminals_[i], opts, {});
+    for (std::size_t j = 0; j < terminals_.size(); ++j) {
+      if (i == j) {
+        paths_[i][j] = Path{{terminals_[i]}, {}};
+        continue;
+      }
+      paths_[i][j] = extract_path(r, terminals_[i], terminals_[j]);
+      if (direct_override) {
+        if (auto direct = direct_nvlink(g, terminals_[i], terminals_[j])) {
+          if (!paths_[i][j] ||
+              direct->latency(g, opts.ref_bytes, residual_copy_) <
+                  paths_[i][j]->latency(g, opts.ref_bytes, residual_copy_)) {
+            paths_[i][j] = std::move(direct);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::size_t PathStore::index_of(NodeId node) const {
+  if (node >= terminal_index_.size() || terminal_index_[node] < 0) {
+    throw std::out_of_range("PathStore: node is not a terminal");
+  }
+  return static_cast<std::size_t>(terminal_index_[node]);
+}
+
+bool PathStore::reachable(NodeId src, NodeId dst) const {
+  return paths_[index_of(src)][index_of(dst)].has_value();
+}
+
+const Path& PathStore::path(NodeId src, NodeId dst) const {
+  const auto& p = paths_[index_of(src)][index_of(dst)];
+  if (!p) throw std::out_of_range("PathStore: unreachable pair");
+  return *p;
+}
+
+Time PathStore::latency(NodeId src, NodeId dst, Bytes bytes) const {
+  return path(src, dst).latency(*graph_, bytes, residual_copy_);
+}
+
+}  // namespace hero::topo

@@ -1,0 +1,105 @@
+// Shortest-path machinery (paper Alg. 2 lines 1-3: "gen_latency_matrix /
+// store_shortest_path, alg=dijkstra").
+//
+// Path latency follows the paper's store-and-forward model (Eq. 10 and the
+// Fig. 2 walk-through): a D-byte transfer over path e_1..e_n costs
+// sum_n (D / B(e_n) + hop_latency(e_n)). Routing respects the physical
+// forwarding rules of the testbed:
+//   * switches forward anything;
+//   * plain servers never relay;
+//   * a GPU relays traffic only if the relay enters or leaves over NVLink
+//     (a GPU forwarding a peer's tensor out of its own NIC -- the
+//     heterogeneous trick of Fig. 2(b)). Ethernet-in/Ethernet-out GPU
+//     relaying is forbidden for every scheme.
+// Homogeneous baselines (DistServe / DS-ATP / DS-SwitchML) set
+// `allow_nvlink = false`, which restricts them to pure Ethernet routes.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace hero::topo {
+
+struct PathConstraints {
+  bool allow_nvlink = true;
+  bool allow_ethernet = true;
+  /// When allow_nvlink is false, still permit a *single direct* NVLink edge
+  /// between the two endpoints. This is NCCL reality for the homogeneous
+  /// baselines: intra-node legs always ride NVLink, but multi-hop NVLink
+  /// forwarding (detouring through a peer GPU's NIC — HeroServe's trick)
+  /// stays forbidden.
+  bool allow_nvlink_direct = false;
+};
+
+struct PathOptions {
+  /// Reference transfer size used to weigh bandwidth against fixed hop
+  /// latency during route search.
+  Bytes ref_bytes = 1.0 * units::MiB;
+  PathConstraints constraints;
+  /// Optional per-edge residual bandwidth `B(e)` (Table I); when empty the
+  /// static capacity `C(e)` is used.
+  std::span<const Bandwidth> residual_bw = {};
+};
+
+struct Path {
+  std::vector<NodeId> nodes;  ///< src .. dst (size = edges.size() + 1)
+  std::vector<EdgeId> edges;
+
+  [[nodiscard]] bool empty() const { return edges.empty(); }
+  [[nodiscard]] std::size_t hops() const { return edges.size(); }
+  [[nodiscard]] NodeId src() const { return nodes.front(); }
+  [[nodiscard]] NodeId dst() const { return nodes.back(); }
+
+  /// Store-and-forward latency of a `bytes` transfer (Eq. 10).
+  [[nodiscard]] Time latency(const Graph& g, Bytes bytes,
+                             std::span<const Bandwidth> residual_bw = {}) const;
+  /// Minimum bandwidth along the path.
+  [[nodiscard]] Bandwidth bottleneck(
+      const Graph& g, std::span<const Bandwidth> residual_bw = {}) const;
+  /// True if the path uses at least one NVLink edge.
+  [[nodiscard]] bool uses_nvlink(const Graph& g) const;
+};
+
+/// Single-pair shortest path; nullopt when unreachable under the constraints.
+[[nodiscard]] std::optional<Path> shortest_path(const Graph& g, NodeId src,
+                                                NodeId dst,
+                                                const PathOptions& opts = {});
+
+/// Up to k edge-diverse routes between src and dst, cheapest first, found by
+/// iterative edge-penalty re-search. The first entry is the true shortest
+/// path. Used to populate the online scheduler's policy alternatives.
+[[nodiscard]] std::vector<Path> alternate_paths(const Graph& g, NodeId src,
+                                                NodeId dst, std::size_t k,
+                                                const PathOptions& opts = {});
+
+/// All-pairs shortest paths among `terminals` (the planner's offline
+/// `P_(k,a)` path store and `D_(i,j)` latency matrix).
+class PathStore {
+ public:
+  PathStore(const Graph& g, std::vector<NodeId> terminals,
+            const PathOptions& opts = {});
+
+  [[nodiscard]] bool reachable(NodeId src, NodeId dst) const;
+  /// Throws std::out_of_range when src/dst is not a terminal or unreachable.
+  [[nodiscard]] const Path& path(NodeId src, NodeId dst) const;
+  /// Store-and-forward latency for a transfer of `bytes` (Eq. 10) along the
+  /// stored shortest path.
+  [[nodiscard]] Time latency(NodeId src, NodeId dst, Bytes bytes) const;
+  [[nodiscard]] std::span<const NodeId> terminals() const {
+    return terminals_;
+  }
+
+ private:
+  const Graph* graph_;
+  std::vector<NodeId> terminals_;
+  std::vector<std::int32_t> terminal_index_;  // node id -> index or -1
+  std::vector<std::vector<std::optional<Path>>> paths_;
+  std::vector<Bandwidth> residual_copy_;
+
+  [[nodiscard]] std::size_t index_of(NodeId node) const;
+};
+
+}  // namespace hero::topo

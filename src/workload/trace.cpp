@@ -1,0 +1,179 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hero::wl {
+namespace {
+
+std::size_t sample_length(Rng& rng, double mu, double sigma, std::size_t lo,
+                          std::size_t hi) {
+  const double v = rng.lognormal(mu, sigma);
+  const auto len = static_cast<std::size_t>(std::llround(v));
+  return std::clamp(len, lo, hi);
+}
+
+}  // namespace
+
+LengthDistribution sharegpt_lengths() {
+  LengthDistribution d;
+  d.input_mu = std::log(250.0);
+  d.input_sigma = 0.9;
+  d.input_min = 8;
+  d.input_max = 2048;
+  d.output_mu = std::log(180.0);
+  d.output_sigma = 0.7;
+  d.output_min = 8;
+  d.output_max = 1024;
+  return d;
+}
+
+LengthDistribution longbench_lengths() {
+  LengthDistribution d;
+  d.input_mu = std::log(7000.0);
+  d.input_sigma = 0.5;
+  d.input_min = 1024;
+  d.input_max = 16384;
+  d.output_mu = std::log(80.0);
+  d.output_sigma = 0.5;
+  d.output_min = 16;
+  d.output_max = 256;
+  return d;
+}
+
+Trace generate_trace(const TraceOptions& opts) {
+  if (opts.rate <= 0.0) throw std::invalid_argument("generate_trace: rate");
+  Rng rng(opts.seed);
+
+  // Bursty: two-state MMPP preserving the requested mean rate.
+  const double f = std::clamp(opts.burst_fraction, 0.01, 0.99);
+  const double high_rate = opts.rate * std::max(opts.burst_multiplier, 1.0);
+  double low_rate =
+      (opts.rate - f * high_rate) / (1.0 - f);
+  low_rate = std::max(low_rate, 0.05 * opts.rate);
+
+  Trace trace;
+  trace.reserve(opts.count);
+  Time now = 0.0;
+  bool in_burst = false;
+  Time state_until = 0.0;
+  if (opts.bursty) {
+    state_until = rng.exponential(1.0 / ((1.0 - f) / f *
+                                         opts.burst_mean_duration));
+  }
+
+  for (std::size_t i = 0; i < opts.count; ++i) {
+    if (opts.bursty) {
+      while (now >= state_until) {
+        in_burst = !in_burst;
+        const Time mean_sojourn = in_burst
+                                      ? opts.burst_mean_duration
+                                      : (1.0 - f) / f *
+                                            opts.burst_mean_duration;
+        state_until += rng.exponential(1.0 / mean_sojourn);
+      }
+      now += rng.exponential(in_burst ? high_rate : low_rate);
+    } else {
+      now += rng.exponential(opts.rate);
+    }
+    Request r;
+    r.id = i;
+    r.arrival = now;
+    r.input_tokens = sample_length(rng, opts.lengths.input_mu,
+                                   opts.lengths.input_sigma,
+                                   opts.lengths.input_min,
+                                   opts.lengths.input_max);
+    r.output_tokens = sample_length(rng, opts.lengths.output_mu,
+                                    opts.lengths.output_sigma,
+                                    opts.lengths.output_min,
+                                    opts.lengths.output_max);
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+Trace generate_diurnal_trace(const DiurnalOptions& opts) {
+  if (opts.base.rate <= 0.0 || opts.period <= 0.0) {
+    throw std::invalid_argument("generate_diurnal_trace: rate/period");
+  }
+  if (opts.amplitude < 0.0 || opts.amplitude >= 1.0) {
+    throw std::invalid_argument("generate_diurnal_trace: amplitude in [0,1)");
+  }
+  Rng rng(opts.base.seed);
+  const double peak = opts.base.rate * (1.0 + opts.amplitude);
+
+  Trace trace;
+  trace.reserve(opts.base.count);
+  Time now = 0.0;
+  while (trace.size() < opts.base.count) {
+    // Thinning: candidate arrivals at the peak rate, accepted with
+    // probability rate(t) / peak.
+    now += rng.exponential(peak);
+    const double rate_now =
+        opts.base.rate *
+        (1.0 + opts.amplitude *
+                   std::sin(2.0 * 3.14159265358979323846 * now /
+                            opts.period));
+    if (!rng.bernoulli(rate_now / peak)) continue;
+    Request r;
+    r.id = trace.size();
+    r.arrival = now;
+    r.input_tokens = sample_length(rng, opts.base.lengths.input_mu,
+                                   opts.base.lengths.input_sigma,
+                                   opts.base.lengths.input_min,
+                                   opts.base.lengths.input_max);
+    r.output_tokens = sample_length(rng, opts.base.lengths.output_mu,
+                                    opts.base.lengths.output_sigma,
+                                    opts.base.lengths.output_min,
+                                    opts.base.lengths.output_max);
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+WorkloadEstimator::WorkloadEstimator(std::size_t window)
+    : input_len_(window), input_len_sq_(window), output_len_(window) {}
+
+void WorkloadEstimator::observe(const Request& request) {
+  const double in = static_cast<double>(request.input_tokens);
+  input_len_.add(in);
+  input_len_sq_.add(in * in);
+  output_len_.add(static_cast<double>(request.output_tokens));
+  ++observed_;
+}
+
+std::size_t WorkloadEstimator::k_in(std::size_t batch) const {
+  return static_cast<std::size_t>(
+      std::llround(static_cast<double>(batch) * input_len_.value()));
+}
+
+std::size_t WorkloadEstimator::k_in2(std::size_t batch) const {
+  return static_cast<std::size_t>(
+      std::llround(static_cast<double>(batch) * input_len_sq_.value()));
+}
+
+std::size_t WorkloadEstimator::k_out(std::size_t batch) const {
+  return static_cast<std::size_t>(
+      std::llround(static_cast<double>(batch) * output_len_.value()));
+}
+
+TraceStats summarize(const Trace& trace) {
+  TraceStats stats;
+  stats.count = trace.size();
+  if (trace.empty()) return stats;
+  double in = 0.0, out = 0.0;
+  for (const Request& r : trace) {
+    in += static_cast<double>(r.input_tokens);
+    out += static_cast<double>(r.output_tokens);
+  }
+  stats.mean_input = in / static_cast<double>(trace.size());
+  stats.mean_output = out / static_cast<double>(trace.size());
+  const Time makespan = trace.back().arrival - trace.front().arrival;
+  stats.mean_rate = makespan > 0
+                        ? static_cast<double>(trace.size() - 1) / makespan
+                        : 0.0;
+  return stats;
+}
+
+}  // namespace hero::wl

@@ -1,0 +1,96 @@
+#include "workload/trace_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/format.hpp"
+
+namespace hero::wl {
+
+Trace read_trace_csv(std::istream& in) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Trim whitespace.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    const std::string body = line.substr(begin, end - begin + 1);
+    if (body.empty() || body[0] == '#') continue;
+    // Skip a header row.
+    if (body.find("arrival") != std::string::npos) continue;
+
+    std::istringstream row(body);
+    std::string cell;
+    double fields[3];
+    for (int f = 0; f < 3; ++f) {
+      if (!std::getline(row, cell, ',')) {
+        throw std::runtime_error(
+            strfmt("trace csv line {}: expected 3 fields", line_no));
+      }
+      try {
+        fields[f] = std::stod(cell);
+      } catch (const std::exception&) {
+        throw std::runtime_error(
+            strfmt("trace csv line {}: bad number '{}'", line_no, cell));
+      }
+    }
+    if (fields[0] < 0 || fields[1] < 0 || fields[2] < 0) {
+      throw std::runtime_error(
+          strfmt("trace csv line {}: negative value", line_no));
+    }
+    Request r;
+    r.arrival = fields[0];
+    r.input_tokens = static_cast<std::size_t>(fields[1]);
+    r.output_tokens = static_cast<std::size_t>(fields[2]);
+    trace.push_back(r);
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (std::size_t i = 0; i < trace.size(); ++i) trace[i].id = i;
+  return trace;
+}
+
+Trace load_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read trace file: " + path);
+  return read_trace_csv(in);
+}
+
+void write_trace_csv(std::ostream& out, const Trace& trace) {
+  out << std::setprecision(17);  // lossless double round-trip
+  out << "# HeroServe request trace\n";
+  out << "arrival_s,input_tokens,output_tokens\n";
+  for (const Request& r : trace) {
+    out << r.arrival << ',' << r.input_tokens << ',' << r.output_tokens
+        << '\n';
+  }
+}
+
+void save_trace_csv(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace file: " + path);
+  write_trace_csv(out, trace);
+}
+
+Trace rescale_rate(Trace trace, double rate) {
+  if (trace.size() < 2 || rate <= 0) return trace;
+  const Time span = trace.back().arrival - trace.front().arrival;
+  if (span <= 0) return trace;
+  const double current = static_cast<double>(trace.size() - 1) / span;
+  const double scale = current / rate;
+  const Time origin = trace.front().arrival;
+  for (Request& r : trace) {
+    r.arrival = origin + (r.arrival - origin) * scale;
+  }
+  return trace;
+}
+
+}  // namespace hero::wl

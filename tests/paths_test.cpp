@@ -1,0 +1,307 @@
+// Tests for shortest paths, routing constraints (the GPU-relay rule), path
+// latency math — including the paper's Fig. 2 numbers — and the PathStore.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "topology/builders.hpp"
+#include "topology/paths.hpp"
+
+namespace hero::topo {
+namespace {
+
+Graph line_graph() {
+  // gpu0 - sw0 - sw1 - gpu1, 100 Gbps everywhere, 1 us hops.
+  Graph g;
+  const NodeId g0 = g.add_gpu("g0", GpuModel::kA100_40, 1, 0);
+  const NodeId s0 = g.add_switch("s0", NodeKind::kAccessSwitch);
+  const NodeId s1 = g.add_switch("s1", NodeKind::kAccessSwitch);
+  const NodeId g1 = g.add_gpu("g1", GpuModel::kA100_40, 1, 1);
+  g.add_edge(g0, s0, LinkKind::kEthernet, 100 * units::Gbps);
+  g.add_edge(s0, s1, LinkKind::kEthernet, 100 * units::Gbps);
+  g.add_edge(s1, g1, LinkKind::kEthernet, 100 * units::Gbps);
+  return g;
+}
+
+TEST(ShortestPath, FindsLine) {
+  const Graph g = line_graph();
+  const auto p = shortest_path(g, g.find("g0"), g.find("g1"));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 3u);
+  EXPECT_EQ(p->src(), g.find("g0"));
+  EXPECT_EQ(p->dst(), g.find("g1"));
+  EXPECT_EQ(p->nodes.size(), 4u);
+}
+
+TEST(ShortestPath, SameNodeIsEmptyPath) {
+  const Graph g = line_graph();
+  const auto p = shortest_path(g, g.find("g0"), g.find("g0"));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->empty());
+}
+
+TEST(ShortestPath, StoreAndForwardLatency) {
+  const Graph g = line_graph();
+  const auto p = shortest_path(g, g.find("g0"), g.find("g1"));
+  // 3 hops x (1MB / 12.5GB/s + 1us) = 3 x 81us.
+  EXPECT_NEAR(p->latency(g, 1.0 * units::MB), 3 * 81.0 * units::us, 1e-9);
+}
+
+TEST(ShortestPath, BottleneckBandwidth) {
+  Graph g;
+  const NodeId a = g.add_gpu("a", GpuModel::kA100_40, 1, 0);
+  const NodeId s = g.add_switch("s", NodeKind::kAccessSwitch);
+  const NodeId b = g.add_gpu("b", GpuModel::kA100_40, 1, 1);
+  g.add_edge(a, s, LinkKind::kEthernet, 100 * units::Gbps);
+  g.add_edge(s, b, LinkKind::kEthernet, 25 * units::Gbps);
+  const auto p = shortest_path(g, a, b);
+  EXPECT_DOUBLE_EQ(p->bottleneck(g), 25 * units::Gbps);
+}
+
+TEST(ShortestPath, UnreachableReturnsNullopt) {
+  Graph g;
+  const NodeId a = g.add_gpu("a", GpuModel::kA100_40, 1, 0);
+  const NodeId b = g.add_gpu("b", GpuModel::kA100_40, 1, 1);
+  (void)b;
+  g.add_gpu("c", GpuModel::kA100_40, 1, 2);
+  EXPECT_FALSE(shortest_path(g, a, b).has_value());
+}
+
+TEST(ShortestPath, EthernetOnlyConstraintExcludesNvlink) {
+  Graph g;
+  const NodeId a = g.add_gpu("a", GpuModel::kA100_40, 1, 0);
+  const NodeId b = g.add_gpu("b", GpuModel::kA100_40, 1, 0);
+  g.add_edge(a, b, LinkKind::kNvLink, 600 * units::GBps);
+  PathOptions opts;
+  opts.constraints.allow_nvlink = false;
+  EXPECT_FALSE(shortest_path(g, a, b, opts).has_value());
+  EXPECT_TRUE(shortest_path(g, a, b).has_value());
+}
+
+TEST(ShortestPath, ServersNeverRelay) {
+  // g0 - ps - g1 with Ethernet: unreachable because servers do not forward.
+  Graph g;
+  const NodeId g0 = g.add_gpu("g0", GpuModel::kA100_40, 1, 0);
+  const NodeId ps = g.add_server("ps");
+  const NodeId g1 = g.add_gpu("g1", GpuModel::kA100_40, 1, 1);
+  g.add_edge(g0, ps, LinkKind::kEthernet, 100 * units::Gbps);
+  g.add_edge(ps, g1, LinkKind::kEthernet, 100 * units::Gbps);
+  EXPECT_FALSE(shortest_path(g, g0, g1).has_value());
+  // But the server itself is reachable as an endpoint.
+  EXPECT_TRUE(shortest_path(g, g0, ps).has_value());
+}
+
+TEST(ShortestPath, GpuRelayRequiresNvlinkSide) {
+  // sw0 - gX - sw1 all Ethernet: gX must not relay switch-to-switch
+  // traffic.
+  Graph g;
+  const NodeId s0 = g.add_switch("s0", NodeKind::kAccessSwitch);
+  const NodeId gx = g.add_gpu("gx", GpuModel::kA100_40, 1, 0);
+  const NodeId s1 = g.add_switch("s1", NodeKind::kAccessSwitch);
+  const NodeId g0 = g.add_gpu("g0", GpuModel::kA100_40, 1, 1);
+  const NodeId g1 = g.add_gpu("g1", GpuModel::kA100_40, 1, 2);
+  g.add_edge(g0, s0, LinkKind::kEthernet, 100 * units::Gbps);
+  g.add_edge(s0, gx, LinkKind::kEthernet, 100 * units::Gbps);
+  g.add_edge(gx, s1, LinkKind::kEthernet, 100 * units::Gbps);
+  g.add_edge(s1, g1, LinkKind::kEthernet, 100 * units::Gbps);
+  EXPECT_FALSE(shortest_path(g, g0, g1).has_value());
+}
+
+TEST(ShortestPath, NvlinkForwardingAllowed) {
+  // Fig. 2(b): GN1 -> (NVLink) GN2 -> S2 is a legal relay.
+  const Graph g = make_fig2_example();
+  const auto p = shortest_path(g, g.find("GN1"), g.find("S2"));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 2u);
+  EXPECT_TRUE(p->uses_nvlink(g));
+  EXPECT_EQ(p->nodes[1], g.find("GN2"));
+}
+
+TEST(Fig2, HomogeneousCollectionIs160us) {
+  // Ethernet-only: GN1 must reach core S1 over two 100G hops -> ~160 us
+  // for 1 MB (paper SII-C).
+  const Graph g = make_fig2_example();
+  PathOptions opts;
+  opts.constraints.allow_nvlink = false;
+  const auto p = shortest_path(g, g.find("GN1"), g.find("S1"), opts);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 2u);
+  EXPECT_NEAR(p->latency(g, 1.0 * units::MB), 162.0 * units::us,
+              1.0 * units::us);
+}
+
+TEST(Fig2, HeterogeneousCollectionIs90us) {
+  // NVLink forwarding reaches access switch S2 in one Ethernet hop:
+  // ~43% lower than homogeneous (paper: ~90 us vs ~160 us).
+  const Graph g = make_fig2_example();
+  const auto p = shortest_path(g, g.find("GN1"), g.find("S2"));
+  ASSERT_TRUE(p.has_value());
+  const Time hetero = p->latency(g, 1.0 * units::MB);
+  EXPECT_LT(hetero, 95.0 * units::us);
+  EXPECT_GT(hetero, 80.0 * units::us);
+}
+
+TEST(NvlinkDirect, AllowsSingleHopNvlinkWithoutForwarding) {
+  // allow_nvlink_direct: the direct intra-server edge works, but the
+  // NVLink-forwarding detour of Fig. 2(b) stays forbidden.
+  const Graph g = make_fig2_example();
+  PathOptions opts;
+  opts.constraints.allow_nvlink = false;
+  opts.constraints.allow_nvlink_direct = true;
+  // GN1 -> GN2: the direct NVLink edge.
+  const auto direct = shortest_path(g, g.find("GN1"), g.find("GN2"), opts);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(direct->hops(), 1u);
+  EXPECT_TRUE(direct->uses_nvlink(g));
+  // GN1 -> S2 must NOT go through GN2's NIC: 3 Ethernet hops instead of
+  // the heterogeneous 2-hop NVLink detour.
+  const auto to_s2 = shortest_path(g, g.find("GN1"), g.find("S2"), opts);
+  ASSERT_TRUE(to_s2.has_value());
+  EXPECT_FALSE(to_s2->uses_nvlink(g));
+}
+
+TEST(NvlinkDirect, PrefersCheaperOfDirectAndEthernet) {
+  // When an Ethernet route is cheaper than NVLink (contrived tiny NVLink),
+  // the direct override must not force the worse path.
+  Graph g;
+  const NodeId a = g.add_gpu("a", GpuModel::kA100_40, 1, 0);
+  const NodeId b = g.add_gpu("b", GpuModel::kA100_40, 1, 0);
+  const NodeId s = g.add_switch("s", NodeKind::kAccessSwitch);
+  g.add_edge(a, b, LinkKind::kNvLink, 1 * units::Mbps, 0.0);  // terrible
+  g.add_edge(a, s, LinkKind::kEthernet, 100 * units::Gbps, 0.0);
+  g.add_edge(s, b, LinkKind::kEthernet, 100 * units::Gbps, 0.0);
+  PathOptions opts;
+  opts.constraints.allow_nvlink = false;
+  opts.constraints.allow_nvlink_direct = true;
+  const auto p = shortest_path(g, a, b, opts);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(p->uses_nvlink(g));
+}
+
+TEST(NvlinkDirect, PathStoreAppliesOverride) {
+  const Graph g = make_fig2_example();
+  PathOptions opts;
+  opts.constraints.allow_nvlink = false;
+  opts.constraints.allow_nvlink_direct = true;
+  const PathStore store(g, g.gpus(), opts);
+  EXPECT_EQ(store.path(g.find("GN1"), g.find("GN2")).hops(), 1u);
+  EXPECT_TRUE(store.path(g.find("GN1"), g.find("GN2")).uses_nvlink(g));
+}
+
+TEST(AlternatePaths, ReturnsDistinctRoutes) {
+  // Diamond: a - {s0|s1} - b.
+  Graph g;
+  const NodeId a = g.add_gpu("a", GpuModel::kA100_40, 1, 0);
+  const NodeId s0 = g.add_switch("s0", NodeKind::kAccessSwitch);
+  const NodeId s1 = g.add_switch("s1", NodeKind::kAccessSwitch);
+  const NodeId b = g.add_gpu("b", GpuModel::kA100_40, 1, 1);
+  g.add_edge(a, s0, LinkKind::kEthernet, 100 * units::Gbps);
+  g.add_edge(s0, b, LinkKind::kEthernet, 100 * units::Gbps);
+  g.add_edge(a, s1, LinkKind::kEthernet, 100 * units::Gbps);
+  g.add_edge(s1, b, LinkKind::kEthernet, 100 * units::Gbps);
+  const auto alts = alternate_paths(g, a, b, 3);
+  ASSERT_EQ(alts.size(), 2u);
+  EXPECT_NE(alts[0].edges, alts[1].edges);
+}
+
+TEST(AlternatePaths, FirstIsShortest) {
+  const Graph g = make_testbed();
+  const auto gpus = g.gpus();
+  const auto alts = alternate_paths(g, gpus[0], gpus[5], 3);
+  ASSERT_FALSE(alts.empty());
+  const auto direct = shortest_path(g, gpus[0], gpus[5]);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(alts[0].edges, direct->edges);
+}
+
+TEST(AlternatePaths, ZeroKReturnsEmpty) {
+  const Graph g = line_graph();
+  EXPECT_TRUE(alternate_paths(g, g.find("g0"), g.find("g1"), 0).empty());
+}
+
+TEST(PathStore, MatchesSinglePairQueries) {
+  const Graph g = make_testbed();
+  std::vector<NodeId> terminals = g.gpus();
+  for (NodeId sw : g.switches()) terminals.push_back(sw);
+  const PathStore store(g, terminals);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      const auto single = shortest_path(g, terminals[i], terminals[j]);
+      ASSERT_TRUE(single.has_value());
+      EXPECT_NEAR(store.latency(terminals[i], terminals[j], 1 * units::MB),
+                  single->latency(g, 1 * units::MB), 2 * units::us)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(PathStore, SelfPathIsEmpty) {
+  const Graph g = line_graph();
+  const PathStore store(g, g.gpus());
+  EXPECT_TRUE(store.path(g.find("g0"), g.find("g0")).empty());
+  EXPECT_DOUBLE_EQ(store.latency(g.find("g0"), g.find("g0"), 1e6), 0.0);
+}
+
+TEST(PathStore, NonTerminalThrows) {
+  const Graph g = line_graph();
+  const PathStore store(g, g.gpus());
+  EXPECT_THROW((void)store.path(g.find("g0"), g.find("s0")),
+               std::out_of_range);
+}
+
+TEST(PathStore, RespectsResidualBandwidth) {
+  const Graph g = line_graph();
+  std::vector<Bandwidth> residual(g.edge_count(), 100 * units::Gbps);
+  residual[1] = 10 * units::Gbps;  // congested middle hop
+  PathOptions opts;
+  opts.residual_bw = residual;
+  const PathStore store(g, g.gpus(), opts);
+  const Time t = store.latency(g.find("g0"), g.find("g1"), 1.0 * units::MB);
+  // 80us + 800us + 80us + 3us hop latencies.
+  EXPECT_NEAR(t, 963.0 * units::us, 1.0 * units::us);
+}
+
+/// Property: on random pure-switch graphs Dijkstra's latencies satisfy the
+/// triangle inequality and symmetric pairs agree.
+class RandomGraphTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphTest, MetricProperties) {
+  Rng rng(GetParam());
+  Graph g;
+  const std::size_t n = 8;
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(
+        g.add_switch("s" + std::to_string(i), NodeKind::kAccessSwitch));
+  }
+  // Random connected graph: spanning chain + extra edges.
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(nodes[i - 1], nodes[i], LinkKind::kEthernet,
+               rng.uniform(10, 100) * units::Gbps);
+  }
+  for (int extra = 0; extra < 6; ++extra) {
+    const NodeId a = nodes[rng.uniform_int(n)];
+    const NodeId b = nodes[rng.uniform_int(n)];
+    if (a != b) {
+      g.add_edge(a, b, LinkKind::kEthernet,
+                 rng.uniform(10, 100) * units::Gbps);
+    }
+  }
+  const PathStore store(g, nodes);
+  const Bytes bytes = 1.0 * units::MB;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const Time dij = store.latency(nodes[i], nodes[j], bytes);
+      EXPECT_NEAR(dij, store.latency(nodes[j], nodes[i], bytes), 1e-12);
+      for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_LE(dij, store.latency(nodes[i], nodes[k], bytes) +
+                           store.latency(nodes[k], nodes[j], bytes) + 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace hero::topo

@@ -1,0 +1,120 @@
+// Tests for the discrete-event simulation core.
+#include <gtest/gtest.h>
+
+#include "netsim/sim.hpp"
+
+namespace hero::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(2.0, [&] { order.push_back(2); });
+  s.schedule(1.0, [&] { order.push_back(1); });
+  s.schedule(3.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleInUsesRelativeDelay) {
+  Simulator s;
+  Time fired = -1;
+  s.schedule(5.0, [&] {
+    s.schedule_in(2.5, [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired, 7.5);
+}
+
+TEST(Simulator, PastEventThrows) {
+  Simulator s;
+  s.schedule(5.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  const EventId id = s.schedule(1.0, [&] { ran = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.executed_events(), 0u);
+}
+
+TEST(Simulator, CancelInvalidIsNoop) {
+  Simulator s;
+  s.cancel(kInvalidEvent);
+  s.cancel(12345);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.schedule(1.0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int count = 0;
+  s.schedule(1.0, [&] { ++count; });
+  s.schedule(2.0, [&] { ++count; });
+  s.schedule(5.0, [&] { ++count; });
+  s.run_until(3.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+  s.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) s.schedule_in(1.0, recurse);
+  };
+  s.schedule(0.0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(s.now(), 9.0);
+}
+
+TEST(Simulator, PendingEventsTracksCancellations) {
+  Simulator s;
+  const EventId a = s.schedule(1.0, [] {});
+  s.schedule(2.0, [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Simulator, ExecutedEventsCounts) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule(i, [] {});
+  s.run();
+  EXPECT_EQ(s.executed_events(), 7u);
+}
+
+}  // namespace
+}  // namespace hero::sim

@@ -1,0 +1,145 @@
+// Tests for trace generation (Poisson and bursty arrivals, dataset-style
+// length distributions) and the moving-average workload estimator.
+#include <gtest/gtest.h>
+
+#include "workload/trace.hpp"
+
+namespace hero::wl {
+namespace {
+
+TEST(Trace, DeterministicForSeed) {
+  TraceOptions opts;
+  opts.rate = 2.0;
+  opts.count = 50;
+  opts.seed = 9;
+  const Trace a = generate_trace(opts);
+  const Trace b = generate_trace(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].input_tokens, b[i].input_tokens);
+    EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+  }
+}
+
+TEST(Trace, ArrivalsMonotoneAndIdsSequential) {
+  const Trace t = generate_trace({.rate = 5.0, .count = 100, .seed = 1});
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GE(t[i].arrival, t[i - 1].arrival);
+    EXPECT_EQ(t[i].id, i);
+  }
+}
+
+TEST(Trace, PoissonRateMatches) {
+  TraceOptions opts;
+  opts.rate = 10.0;
+  opts.count = 5000;
+  const TraceStats stats = summarize(generate_trace(opts));
+  EXPECT_NEAR(stats.mean_rate, 10.0, 0.5);
+}
+
+TEST(Trace, RejectsNonPositiveRate) {
+  TraceOptions opts;
+  opts.rate = 0.0;
+  EXPECT_THROW(generate_trace(opts), std::invalid_argument);
+}
+
+TEST(Trace, LengthsWithinClamps) {
+  TraceOptions opts;
+  opts.count = 500;
+  opts.lengths = sharegpt_lengths();
+  for (const Request& r : generate_trace(opts)) {
+    EXPECT_GE(r.input_tokens, opts.lengths.input_min);
+    EXPECT_LE(r.input_tokens, opts.lengths.input_max);
+    EXPECT_GE(r.output_tokens, opts.lengths.output_min);
+    EXPECT_LE(r.output_tokens, opts.lengths.output_max);
+  }
+}
+
+TEST(Trace, ShareGptVersusLongBenchShapes) {
+  TraceOptions chat;
+  chat.count = 2000;
+  chat.lengths = sharegpt_lengths();
+  TraceOptions summ;
+  summ.count = 2000;
+  summ.lengths = longbench_lengths();
+  const TraceStats c = summarize(generate_trace(chat));
+  const TraceStats s = summarize(generate_trace(summ));
+  // Summarization prompts are an order of magnitude longer, outputs shorter.
+  EXPECT_GT(s.mean_input, 8.0 * c.mean_input);
+  EXPECT_LT(s.mean_output, c.mean_output);
+  EXPECT_NEAR(c.mean_input, 300.0, 120.0);
+  EXPECT_NEAR(s.mean_input, 7500.0, 1500.0);
+}
+
+TEST(Trace, BurstyPreservesMeanRate) {
+  TraceOptions opts;
+  opts.rate = 10.0;
+  opts.count = 8000;
+  opts.bursty = true;
+  opts.burst_multiplier = 4.0;
+  opts.burst_fraction = 0.2;
+  const TraceStats stats = summarize(generate_trace(opts));
+  EXPECT_NEAR(stats.mean_rate, 10.0, 2.0);
+}
+
+TEST(Trace, BurstyHasHigherVariance) {
+  TraceOptions opts;
+  opts.rate = 10.0;
+  opts.count = 4000;
+  auto gap_var = [](const Trace& t) {
+    Summary s;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      s.add(t[i].arrival - t[i - 1].arrival);
+    }
+    return s.variance();
+  };
+  const double poisson_var = gap_var(generate_trace(opts));
+  opts.bursty = true;
+  opts.burst_multiplier = 5.0;
+  const double bursty_var = gap_var(generate_trace(opts));
+  EXPECT_GT(bursty_var, 1.5 * poisson_var);
+}
+
+TEST(Summarize, EmptyTrace) {
+  const TraceStats s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_rate, 0.0);
+}
+
+// --- estimator ---
+
+TEST(Estimator, TracksMovingAverages) {
+  WorkloadEstimator est(4);
+  est.observe(Request{0, 0, 100, 50});
+  est.observe(Request{1, 0, 200, 100});
+  EXPECT_EQ(est.observed(), 2u);
+  EXPECT_EQ(est.k_in(2), 300u);   // 2 * avg(150)
+  EXPECT_EQ(est.k_out(2), 150u);  // 2 * avg(75)
+  // K_in2 = Q * avg(l^2) = 2 * (100^2 + 200^2)/2.
+  EXPECT_EQ(est.k_in2(2), 50000u);
+}
+
+TEST(Estimator, WindowEvictsOldSamples) {
+  WorkloadEstimator est(2);
+  est.observe(Request{0, 0, 1000, 1});
+  est.observe(Request{1, 0, 100, 1});
+  est.observe(Request{2, 0, 100, 1});  // evicts the 1000
+  EXPECT_EQ(est.k_in(1), 100u);
+}
+
+TEST(Estimator, PaperEstimatesForBatch) {
+  // Feeding a ShareGPT-like trace gives K_in near Q * mean-input.
+  WorkloadEstimator est(64);
+  TraceOptions opts;
+  opts.count = 64;
+  opts.lengths = sharegpt_lengths();
+  const Trace t = generate_trace(opts);
+  for (const Request& r : t) est.observe(r);
+  const TraceStats stats = summarize(t);
+  EXPECT_NEAR(static_cast<double>(est.k_in(8)), 8.0 * stats.mean_input,
+              8.0);
+}
+
+}  // namespace
+}  // namespace hero::wl
