@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_hetero_ina.cpp" "bench-build/CMakeFiles/bench_fig2_hetero_ina.dir/bench_fig2_hetero_ina.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig2_hetero_ina.dir/bench_fig2_hetero_ina.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hero_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/online/CMakeFiles/hero_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/hero_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hero_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/hero_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hero_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/hero_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hero_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/hero_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/hero_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/hero_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hero_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hero_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_hetero_ina"
+  "../bench/bench_fig2_hetero_ina.pdb"
+  "CMakeFiles/bench_fig2_hetero_ina.dir/bench_fig2_hetero_ina.cpp.o"
+  "CMakeFiles/bench_fig2_hetero_ina.dir/bench_fig2_hetero_ina.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hetero_ina.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_tracks"
+  "../bench/bench_fig8_tracks.pdb"
+  "CMakeFiles/bench_fig8_tracks.dir/bench_fig8_tracks.cpp.o"
+  "CMakeFiles/bench_fig8_tracks.dir/bench_fig8_tracks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_tracks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

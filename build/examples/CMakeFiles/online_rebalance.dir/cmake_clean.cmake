@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_rebalance.dir/online_rebalance.cpp.o"
+  "CMakeFiles/online_rebalance.dir/online_rebalance.cpp.o.d"
+  "online_rebalance"
+  "online_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summarization_serving.dir/summarization_serving.cpp.o"
+  "CMakeFiles/summarization_serving.dir/summarization_serving.cpp.o.d"
+  "summarization_serving"
+  "summarization_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summarization_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

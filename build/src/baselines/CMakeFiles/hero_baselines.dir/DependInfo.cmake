@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/static_scheduler.cpp" "src/baselines/CMakeFiles/hero_baselines.dir/static_scheduler.cpp.o" "gcc" "src/baselines/CMakeFiles/hero_baselines.dir/static_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hero_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hero_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/hero_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/hero_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/hero_collectives.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

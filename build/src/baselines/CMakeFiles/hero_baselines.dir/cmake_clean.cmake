@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hero_baselines.dir/static_scheduler.cpp.o"
+  "CMakeFiles/hero_baselines.dir/static_scheduler.cpp.o.d"
+  "libhero_baselines.a"
+  "libhero_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hero_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

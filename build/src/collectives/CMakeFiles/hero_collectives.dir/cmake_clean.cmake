@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hero_collectives.dir/cost_model.cpp.o"
+  "CMakeFiles/hero_collectives.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hero_collectives.dir/engine.cpp.o"
+  "CMakeFiles/hero_collectives.dir/engine.cpp.o.d"
+  "CMakeFiles/hero_collectives.dir/primitives.cpp.o"
+  "CMakeFiles/hero_collectives.dir/primitives.cpp.o.d"
+  "libhero_collectives.a"
+  "libhero_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hero_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hero_common.dir/fixed_point.cpp.o"
+  "CMakeFiles/hero_common.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/hero_common.dir/log.cpp.o"
+  "CMakeFiles/hero_common.dir/log.cpp.o.d"
+  "CMakeFiles/hero_common.dir/rng.cpp.o"
+  "CMakeFiles/hero_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hero_common.dir/stats.cpp.o"
+  "CMakeFiles/hero_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hero_common.dir/table.cpp.o"
+  "CMakeFiles/hero_common.dir/table.cpp.o.d"
+  "libhero_common.a"
+  "libhero_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hero_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

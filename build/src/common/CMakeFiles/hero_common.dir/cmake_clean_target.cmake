@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhero_common.a"
+)

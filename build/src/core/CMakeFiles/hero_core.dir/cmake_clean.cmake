@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hero_core.dir/heroserve.cpp.o"
+  "CMakeFiles/hero_core.dir/heroserve.cpp.o.d"
+  "libhero_core.a"
+  "libhero_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hero_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/gpu_spec.cpp" "src/gpusim/CMakeFiles/hero_gpusim.dir/gpu_spec.cpp.o" "gcc" "src/gpusim/CMakeFiles/hero_gpusim.dir/gpu_spec.cpp.o.d"
+  "/root/repo/src/gpusim/kernel_model.cpp" "src/gpusim/CMakeFiles/hero_gpusim.dir/kernel_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/hero_gpusim.dir/kernel_model.cpp.o.d"
+  "/root/repo/src/gpusim/latency_model.cpp" "src/gpusim/CMakeFiles/hero_gpusim.dir/latency_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/hero_gpusim.dir/latency_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hero_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hero_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/hero_llm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hero_gpusim.dir/gpu_spec.cpp.o"
+  "CMakeFiles/hero_gpusim.dir/gpu_spec.cpp.o.d"
+  "CMakeFiles/hero_gpusim.dir/kernel_model.cpp.o"
+  "CMakeFiles/hero_gpusim.dir/kernel_model.cpp.o.d"
+  "CMakeFiles/hero_gpusim.dir/latency_model.cpp.o"
+  "CMakeFiles/hero_gpusim.dir/latency_model.cpp.o.d"
+  "libhero_gpusim.a"
+  "libhero_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hero_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

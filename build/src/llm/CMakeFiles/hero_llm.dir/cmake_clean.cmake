@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hero_llm.dir/model.cpp.o"
+  "CMakeFiles/hero_llm.dir/model.cpp.o.d"
+  "libhero_llm.a"
+  "libhero_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hero_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/flownet.cpp" "src/netsim/CMakeFiles/hero_netsim.dir/flownet.cpp.o" "gcc" "src/netsim/CMakeFiles/hero_netsim.dir/flownet.cpp.o.d"
+  "/root/repo/src/netsim/sim.cpp" "src/netsim/CMakeFiles/hero_netsim.dir/sim.cpp.o" "gcc" "src/netsim/CMakeFiles/hero_netsim.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hero_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hero_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

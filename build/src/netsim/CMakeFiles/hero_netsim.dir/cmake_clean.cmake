@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hero_netsim.dir/flownet.cpp.o"
+  "CMakeFiles/hero_netsim.dir/flownet.cpp.o.d"
+  "CMakeFiles/hero_netsim.dir/sim.cpp.o"
+  "CMakeFiles/hero_netsim.dir/sim.cpp.o.d"
+  "libhero_netsim.a"
+  "libhero_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hero_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hero_online.dir/policy.cpp.o"
+  "CMakeFiles/hero_online.dir/policy.cpp.o.d"
+  "CMakeFiles/hero_online.dir/scheduler.cpp.o"
+  "CMakeFiles/hero_online.dir/scheduler.cpp.o.d"
+  "libhero_online.a"
+  "libhero_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hero_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hero_planner.dir/grouping.cpp.o"
+  "CMakeFiles/hero_planner.dir/grouping.cpp.o.d"
+  "CMakeFiles/hero_planner.dir/planner.cpp.o"
+  "CMakeFiles/hero_planner.dir/planner.cpp.o.d"
+  "libhero_planner.a"
+  "libhero_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hero_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hero_serving.dir/cluster_sim.cpp.o"
+  "CMakeFiles/hero_serving.dir/cluster_sim.cpp.o.d"
+  "libhero_serving.a"
+  "libhero_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hero_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchsim/aggregator.cpp" "src/switchsim/CMakeFiles/hero_switchsim.dir/aggregator.cpp.o" "gcc" "src/switchsim/CMakeFiles/hero_switchsim.dir/aggregator.cpp.o.d"
+  "/root/repo/src/switchsim/ina_transport.cpp" "src/switchsim/CMakeFiles/hero_switchsim.dir/ina_transport.cpp.o" "gcc" "src/switchsim/CMakeFiles/hero_switchsim.dir/ina_transport.cpp.o.d"
+  "/root/repo/src/switchsim/switch_agent.cpp" "src/switchsim/CMakeFiles/hero_switchsim.dir/switch_agent.cpp.o" "gcc" "src/switchsim/CMakeFiles/hero_switchsim.dir/switch_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hero_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hero_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/hero_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

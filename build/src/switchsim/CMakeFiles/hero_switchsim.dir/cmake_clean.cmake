@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hero_switchsim.dir/aggregator.cpp.o"
+  "CMakeFiles/hero_switchsim.dir/aggregator.cpp.o.d"
+  "CMakeFiles/hero_switchsim.dir/ina_transport.cpp.o"
+  "CMakeFiles/hero_switchsim.dir/ina_transport.cpp.o.d"
+  "CMakeFiles/hero_switchsim.dir/switch_agent.cpp.o"
+  "CMakeFiles/hero_switchsim.dir/switch_agent.cpp.o.d"
+  "libhero_switchsim.a"
+  "libhero_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hero_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

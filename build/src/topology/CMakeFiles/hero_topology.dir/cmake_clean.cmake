@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hero_topology.dir/builders.cpp.o"
+  "CMakeFiles/hero_topology.dir/builders.cpp.o.d"
+  "CMakeFiles/hero_topology.dir/graph.cpp.o"
+  "CMakeFiles/hero_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/hero_topology.dir/paths.cpp.o"
+  "CMakeFiles/hero_topology.dir/paths.cpp.o.d"
+  "libhero_topology.a"
+  "libhero_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hero_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

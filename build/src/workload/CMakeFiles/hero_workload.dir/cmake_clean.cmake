@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hero_workload.dir/trace.cpp.o"
+  "CMakeFiles/hero_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/hero_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/hero_workload.dir/trace_io.cpp.o.d"
+  "libhero_workload.a"
+  "libhero_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hero_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flownet_test.dir/flownet_test.cpp.o"
+  "CMakeFiles/flownet_test.dir/flownet_test.cpp.o.d"
+  "flownet_test"
+  "flownet_test.pdb"
+  "flownet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flownet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
