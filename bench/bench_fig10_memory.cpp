@@ -43,18 +43,18 @@ topo::Graph make_two_tracks() {
 Cell run_cell(SystemKind kind) {
   ExperimentConfig cfg;
   cfg.topology = make_two_tracks();
-  cfg.model = llm::opt_175b();
+  cfg.serving.model = llm::opt_175b();
   cfg.workload.rate = 0.25;  // scaled counterpart of the paper's 0.07 req/s
   cfg.workload.count = 30;
   cfg.workload.lengths = wl::longbench_lengths();
   cfg.workload.seed = 29;
-  cfg.sla_ttft = 25.0;  // simulation summarization SLA (SV)
-  cfg.sla_tpot = 0.2;
+  cfg.serving.sla_ttft = 25.0;  // simulation summarization SLA (SV)
+  cfg.serving.sla_tpot = 0.2;
   cfg.min_p_tens = 8;   // cross-server deployments (SII-B premise)
   // All systems run the same decode concurrency so the figure isolates how
   // fast each one drains KV (the paper's mechanism), not how large a batch
   // its planner dares to admit.
-  cfg.decode_batch_limit = 16;
+  cfg.serving.decode_batch_limit = 16;
 
   const ExperimentResult r = run_experiment(kind, cfg);
   Cell cell;

@@ -50,12 +50,12 @@ struct Cell {
 Cell run_cell(SystemKind kind, const Scenario& scenario) {
   ExperimentConfig cfg;
   cfg.topology = topo::make_testbed();
-  cfg.model = llm::opt_66b();
+  cfg.serving.model = llm::opt_66b();
   cfg.workload.count = 60;
   cfg.workload.lengths = scenario.lengths;
   cfg.workload.seed = 17;
-  cfg.sla_ttft = scenario.sla_ttft;
-  cfg.sla_tpot = scenario.sla_tpot;
+  cfg.serving.sla_ttft = scenario.sla_ttft;
+  cfg.serving.sla_tpot = scenario.sla_tpot;
   cfg.min_p_tens = scenario.min_p_tens;
 
   const RateSearchResult search =

@@ -59,12 +59,12 @@ topo::Graph make_setup(const TrackSetup& setup) {
 Cell run_cell(SystemKind kind, const TrackSetup& setup) {
   ExperimentConfig cfg;
   cfg.topology = make_setup(setup);
-  cfg.model = llm::opt_175b();
+  cfg.serving.model = llm::opt_175b();
   cfg.workload.count = 40;
   cfg.workload.lengths = wl::sharegpt_lengths();
   cfg.workload.seed = 23;
-  cfg.sla_ttft = 4.0;   // simulation chatbot SLA (SV)
-  cfg.sla_tpot = 0.2;
+  cfg.serving.sla_ttft = 4.0;   // simulation chatbot SLA (SV)
+  cfg.serving.sla_tpot = 0.2;
   cfg.min_p_tens = 8;   // cross-server deployments (SII-B premise)
 
   const RateSearchResult search = find_max_rate(kind, cfg, 0.1, 6.0, 0.9, 4);

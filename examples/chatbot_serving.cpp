@@ -21,12 +21,12 @@ int main(int argc, char** argv) {
 
   ExperimentConfig cfg;
   cfg.topology = topo::make_testbed();
-  cfg.model = llm::opt_66b();
+  cfg.serving.model = llm::opt_66b();
   cfg.workload.count = requests;
   cfg.workload.lengths = wl::sharegpt_lengths();
   cfg.workload.seed = 17;
-  cfg.sla_ttft = 2.5;
-  cfg.sla_tpot = 0.15;
+  cfg.serving.sla_ttft = 2.5;
+  cfg.serving.sla_tpot = 0.15;
 
   std::printf(
       "Chatbot scenario: OPT-66B, ShareGPT-like lengths, SLA 2.5s TTFT / "

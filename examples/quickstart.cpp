@@ -5,36 +5,69 @@
 // serves a ShareGPT-like trace under HeroServe and the three baselines,
 // printing TTFT/TPOT/SLA-attainment for each.
 //
-//   ./build/examples/quickstart [rate] [requests]
+//   ./build/examples/quickstart [rate] [requests] [--trace out.json]
+//
+// With --trace, the HeroServe run records a Chrome trace (open in
+// chrome://tracing or https://ui.perfetto.dev): request lifecycles,
+// prefill/decode spans, KV transfers, every collective with its chosen
+// policy and Eq. 16 cost, and controller ticks.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "core/heroserve.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace hero;
-  const double rate = argc > 1 ? std::atof(argv[1]) : 2.0;
+  const char* trace_path = nullptr;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: quickstart [rate] [requests] "
+                             "[--trace out.json]\n");
+        return 1;
+      }
+      trace_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const double rate = !positional.empty() ? std::atof(positional[0]) : 2.0;
   const std::size_t requests =
-      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 80;
+      positional.size() > 1
+          ? static_cast<std::size_t>(std::atoll(positional[1]))
+          : 80;
 
   ExperimentConfig cfg;
   cfg.topology = topo::make_testbed();
-  cfg.model = llm::opt_66b();
+  cfg.serving.model = llm::opt_66b();
   cfg.workload.rate = rate;
   cfg.workload.count = requests;
   cfg.workload.lengths = wl::sharegpt_lengths();
   cfg.workload.seed = 1;
-  cfg.sla_ttft = 2.5;   // chatbot SLA (SV)
-  cfg.sla_tpot = 0.15;
+  cfg.serving.sla_ttft = 2.5;  // chatbot SLA (SV)
+  cfg.serving.sla_tpot = 0.15;
 
   std::printf("HeroServe quickstart: OPT-66B chatbot on the Fig. 6 testbed\n");
   std::printf("rate = %.2f req/s, %zu requests\n\n", rate, requests);
 
+  obs::EventTracer tracer;
+  obs::MetricsRegistry metrics;
+
   Table table({"system", "plan (TPxPP pre|dec)", "TTFT p90 (s)",
                "TPOT p90 (s)", "SLA att.", "req/s", "KV util avg"});
   for (SystemKind kind : kAllSystems) {
+    // Trace the HeroServe run only: each system gets its own simulator
+    // timeline, and overlaying four timelines in one file is unreadable.
+    const bool traced = trace_path && kind == SystemKind::kHeroServe;
+    cfg.tracer = traced ? &tracer : nullptr;
+    cfg.metrics = traced ? &metrics : nullptr;
     const ExperimentResult r = run_experiment(kind, cfg);
     if (!r.ok()) {
       table.add_row({to_string(kind), "infeasible: " +
@@ -53,7 +86,23 @@ int main(int argc, char** argv) {
          fmt_double(r.report.sla_attainment, 3),
          fmt_double(r.report.requests_per_second, 2),
          fmt_double(r.report.kv_utilization_avg, 3)});
+    if (traced && r.report.trace_checked) {
+      std::printf(
+          "trace cross-check: %llu collectives (engine) vs %llu (tracer) "
+          "-> %s\n",
+          static_cast<unsigned long long>(r.report.collectives),
+          static_cast<unsigned long long>(r.report.trace_collectives),
+          r.report.trace_consistent ? "consistent" : "MISMATCH");
+    }
   }
   table.print();
+
+  if (trace_path) {
+    if (tracer.write_chrome_trace_file(trace_path)) {
+      std::printf("\nwrote %zu trace events -> %s (load in ui.perfetto.dev)\n",
+                  tracer.event_count(), trace_path);
+    }
+    std::printf("%s", metrics.snapshot(0.0).to_string().c_str());
+  }
   return 0;
 }

@@ -34,13 +34,13 @@ int main(int argc, char** argv) {
                         topo::LinkKind::kEthernet, 100 * units::Gbps);
   cfg.topology.add_edge(ps, cfg.topology.find("p0a1"),
                         topo::LinkKind::kEthernet, 100 * units::Gbps);
-  cfg.model = llm::opt_175b();
+  cfg.serving.model = llm::opt_175b();
   cfg.workload.rate = rate;
   cfg.workload.count = requests;
   cfg.workload.lengths = wl::longbench_lengths();
   cfg.workload.seed = 29;
-  cfg.sla_ttft = 25.0;
-  cfg.sla_tpot = 0.2;
+  cfg.serving.sla_ttft = 25.0;
+  cfg.serving.sla_tpot = 0.2;
 
   std::printf(
       "Summarization scenario: OPT-175B on a 2tracks cluster (18 x 4-GPU "

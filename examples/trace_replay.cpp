@@ -1,30 +1,37 @@
 // Trace replay: serve a recorded request trace from a CSV file, the way
 // the paper's traffic host replays ShareGPT/LongBench captures.
 //
-//   ./build/examples/trace_replay <trace.csv> [rate]
+//   ./build/examples/trace_replay [trace.csv] [rate] [--trace out.json]
 //
-// Without arguments, generates a demo trace, saves it next to the binary,
-// and replays it at two rates — demonstrating the capture -> rescale ->
-// replay loop (workload/trace_io.hpp).
+// Without positional arguments, generates a demo trace, saves it next to
+// the binary, and replays it at two rates — demonstrating the capture ->
+// rescale -> replay loop (workload/trace_io.hpp). With --trace, the first
+// replay records a Chrome trace_event JSON viewable in chrome://tracing or
+// https://ui.perfetto.dev.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "common/table.hpp"
 #include "core/heroserve.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/trace_io.hpp"
 
 using namespace hero;
 
 namespace {
 
-void serve_trace(const wl::Trace& trace, const char* label) {
+void serve_trace(const wl::Trace& trace, const char* label,
+                 obs::EventTracer* tracer, obs::MetricsRegistry* metrics) {
   // run_experiment generates its own trace from TraceOptions; for replay we
   // drive the pieces directly.
   ExperimentConfig cfg;
   cfg.topology = topo::make_testbed();
-  cfg.model = llm::opt_66b();
-  cfg.sla_ttft = 2.5;
-  cfg.sla_tpot = 0.15;
+  cfg.serving.model = llm::opt_66b();
+  cfg.serving.sla_ttft = 2.5;
+  cfg.serving.sla_tpot = 0.15;
 
   wl::WorkloadEstimator estimator;
   for (const wl::Request& r : trace) estimator.observe(r);
@@ -32,15 +39,15 @@ void serve_trace(const wl::Trace& trace, const char* label) {
 
   planner::PlannerInputs in;
   in.graph = &cfg.topology;
-  in.model = cfg.model;
-  in.latency = &fitted_model(cfg.model);
+  in.model = cfg.serving.model;
+  in.latency = &fitted_model(cfg.serving.model);
   in.batch_q = 8;
   in.k_in = estimator.k_in(8);
   in.k_in2 = estimator.k_in2(8);
   in.k_out = estimator.k_out(8);
   in.arrival_rate = stats.mean_rate;
-  in.t_sla_prefill = cfg.sla_ttft;
-  in.t_sla_decode = cfg.sla_tpot;
+  in.t_sla_prefill = cfg.serving.sla_ttft;
+  in.t_sla_decode = cfg.serving.sla_tpot;
   planner::OfflinePlanner planner(in);
   const planner::PlanResult plan = planner.plan();
   if (!plan.feasible) {
@@ -50,15 +57,14 @@ void serve_trace(const wl::Trace& trace, const char* label) {
   }
 
   sim::Simulator simulator;
+  simulator.attach_tracer(tracer);
+  simulator.attach_metrics(metrics);
   net::FlowNetwork network(simulator, cfg.topology);
   sw::SwitchRegistry switches(simulator, cfg.topology);
   coll::CollectiveEngine engine(network, switches);
   online::HeroCommScheduler scheduler(network);
 
-  serve::ServingOptions serving;
-  serving.model = cfg.model;
-  serving.sla_ttft = cfg.sla_ttft;
-  serving.sla_tpot = cfg.sla_tpot;
+  serve::ServingOptions serving = cfg.serving;
   serving.max_sim_time =
       3600.0 + (trace.empty() ? 0.0 : trace.back().arrival);
   serve::ClusterSim cluster(network, engine, scheduler, plan, serving);
@@ -70,15 +76,41 @@ void serve_trace(const wl::Trace& trace, const char* label) {
       "TPOT p90 %.4fs\n",
       label, trace.size(), stats.mean_rate, report.sla_attainment,
       report.ttft.p90(), report.tpot.p90());
+  if (report.trace_checked) {
+    std::printf(
+        "%s: trace cross-check: collectives %llu/%llu fallbacks %llu/%llu "
+        "(engine/tracer) -> %s\n",
+        label, static_cast<unsigned long long>(report.collectives),
+        static_cast<unsigned long long>(report.trace_collectives),
+        static_cast<unsigned long long>(report.ina_fallbacks),
+        static_cast<unsigned long long>(report.trace_ina_fallbacks),
+        report.trace_consistent ? "consistent" : "MISMATCH");
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: trace_replay [trace.csv] [rate] "
+                             "[--trace out.json]\n");
+        return 1;
+      }
+      trace_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
   wl::Trace trace;
-  if (argc > 1) {
-    trace = wl::load_trace_csv(argv[1]);
-    std::printf("loaded %zu requests from %s\n", trace.size(), argv[1]);
+  if (!positional.empty()) {
+    trace = wl::load_trace_csv(positional[0]);
+    std::printf("loaded %zu requests from %s\n", trace.size(),
+                positional[0]);
   } else {
     wl::TraceOptions opts;
     opts.rate = 1.0;
@@ -90,12 +122,23 @@ int main(int argc, char** argv) {
                 trace.size());
   }
 
-  if (argc > 2) {
-    trace = wl::rescale_rate(std::move(trace), std::atof(argv[2]));
+  if (positional.size() > 1) {
+    trace = wl::rescale_rate(std::move(trace), std::atof(positional[1]));
   }
 
-  serve_trace(trace, "as recorded");
+  // Record the first replay only: each replay runs on a fresh simulator
+  // whose clock restarts at zero, so a shared trace file would interleave.
+  obs::EventTracer tracer;
+  obs::MetricsRegistry metrics;
+  serve_trace(trace, "as recorded", trace_path ? &tracer : nullptr,
+              trace_path ? &metrics : nullptr);
+  if (trace_path) {
+    if (tracer.write_chrome_trace_file(trace_path)) {
+      std::printf("wrote %zu trace events -> %s (load in ui.perfetto.dev)\n",
+                  tracer.event_count(), trace_path);
+    }
+  }
   serve_trace(wl::rescale_rate(trace, wl::summarize(trace).mean_rate * 2.0),
-              "replayed at 2x rate");
+              "replayed at 2x rate", nullptr, nullptr);
   return 0;
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace hero::coll {
 
 const char* to_string(Scheme scheme) {
@@ -89,6 +92,30 @@ void CollectiveEngine::all_reduce(AllReducePlan plan, Done done) {
   op->result.scheme = op->plan.scheme;
   Op& ref = *op;
   ops_.emplace(id, std::move(op));
+
+  sim::Simulator& sim = network_->simulator();
+  if (obs::EventTracer* tr = sim.tracer()) {
+    std::string name = to_string(ref.plan.scheme);
+    if (!ref.plan.flat()) name = "hier-" + name;
+    obs::TraceArgs args{
+        obs::arg("bytes", ref.plan.bytes),
+        obs::arg("scheme", to_string(ref.plan.scheme)),
+        obs::arg("wide_members", ref.plan.wide_members.size()),
+        obs::arg("hierarchical", !ref.plan.flat())};
+    if (ref.plan.switch_node != topo::kInvalidNode) {
+      args.push_back(obs::arg(
+          "switch", network_->graph().node(ref.plan.switch_node).name));
+    }
+    tr->async_begin(sim.now(), id, "collective", std::move(name),
+                    std::move(args));
+    tr->counter(sim.now(), "coll.inflight",
+                static_cast<double>(ops_.size()));
+  }
+  if (obs::MetricsRegistry* m = sim.metrics()) {
+    m->counter("coll.started").add();
+    m->gauge("coll.inflight").set(sim.now(),
+                                  static_cast<double>(ops_.size()));
+  }
 
   if (!ref.plan.local_groups.empty()) {
     start_local_phase(ref);
@@ -236,6 +263,19 @@ void CollectiveEngine::run_fallback(Op& op) {
   }
   ++fallbacks_taken;
   op.result.used_fallback = true;
+  sim::Simulator& sim = network_->simulator();
+  if (obs::EventTracer* tr = sim.tracer()) {
+    // ATP degradation moment: the switch rejected the reservation and the
+    // op re-routes through the end-host parameter server.
+    tr->instant(sim.now(), tr->track("collectives"), "ina_fallback",
+                "switch-reject->host-ps",
+                {obs::arg("op", op.id), obs::arg("bytes", op.plan.bytes),
+                 obs::arg("fallback",
+                          network_->graph().node(op.plan.fallback_node).name)});
+  }
+  if (obs::MetricsRegistry* m = sim.metrics()) {
+    m->counter("coll.fallbacks").add();
+  }
   op.flows_pending = op.plan.fallback_up.size();
   for (std::size_t i = 0; i < op.plan.fallback_up.size(); ++i) {
     const topo::Path& path = op.plan.fallback_up[i];
@@ -316,7 +356,25 @@ void CollectiveEngine::finish(Op& op) {
   }
   Done done = std::move(op.done);
   const AllReduceResult result = op.result;
+  const std::uint64_t id = op.id;
+  // Rebuild the begin event's name: legacy async matching is by
+  // (category, name, id).
+  std::string name = to_string(op.plan.scheme);
+  if (!op.plan.flat()) name = "hier-" + name;
   ops_.erase(op.id);
+  sim::Simulator& sim = network_->simulator();
+  if (obs::EventTracer* tr = sim.tracer()) {
+    tr->async_end(sim.now(), id, "collective", std::move(name),
+                  {obs::arg("latency", result.latency()),
+                   obs::arg("used_fallback", result.used_fallback)});
+    tr->counter(sim.now(), "coll.inflight",
+                static_cast<double>(ops_.size()));
+  }
+  if (obs::MetricsRegistry* m = sim.metrics()) {
+    m->counter("coll.ops").add();
+    m->gauge("coll.inflight").set(sim.now(),
+                                  static_cast<double>(ops_.size()));
+  }
   if (done) done(result);
 }
 

@@ -48,22 +48,22 @@ ExperimentResult run_experiment(SystemKind kind,
 
   planner::PlannerInputs inputs;
   inputs.graph = &cfg.topology;
-  inputs.model = cfg.model;
-  inputs.latency = &fitted_model(cfg.model);
+  inputs.model = cfg.serving.model;
+  inputs.latency = &fitted_model(cfg.serving.model);
   inputs.batch_q = cfg.batch_q;
   inputs.k_in = estimator.k_in(cfg.batch_q);
   inputs.k_in2 = estimator.k_in2(cfg.batch_q);
   inputs.k_out = estimator.k_out(cfg.batch_q);
   inputs.arrival_rate = cfg.workload.rate;
-  inputs.t_sla_prefill = cfg.sla_ttft;
-  inputs.t_sla_decode = cfg.sla_tpot;
-  inputs.r_frac = cfg.r_frac;
+  inputs.t_sla_prefill = cfg.serving.sla_ttft;
+  inputs.t_sla_decode = cfg.serving.sla_tpot;
+  inputs.r_frac = cfg.serving.r_frac;
   inputs.min_p_tens = cfg.min_p_tens;
   inputs.max_candi = cfg.max_candi;
-  inputs.decode_batch_limit = cfg.decode_batch_limit;
-  inputs.prefill_token_budget = cfg.prefill_token_budget;
+  inputs.decode_batch_limit = cfg.serving.decode_batch_limit;
+  inputs.prefill_token_budget = cfg.serving.prefill_token_budget;
   inputs.heterogeneous = kind == SystemKind::kHeroServe;
-  inputs.seed = cfg.seed;
+  inputs.seed = cfg.serving.seed;
   inputs.comm_cost = cfg.engine.cost;
 
   planner::OfflinePlanner offline(inputs);
@@ -76,6 +76,8 @@ ExperimentResult run_experiment(SystemKind kind,
 
   // Deploy and serve.
   sim::Simulator simulator;
+  simulator.attach_tracer(cfg.tracer);
+  simulator.attach_metrics(cfg.metrics);
   net::FlowNetwork network(simulator, cfg.topology);
   sw::SwitchRegistry switches(simulator, cfg.topology);
   coll::CollectiveEngine engine(network, switches, cfg.engine);
@@ -103,19 +105,11 @@ ExperimentResult run_experiment(SystemKind kind,
       break;
   }
 
-  serve::ServingOptions serving;
-  serving.model = cfg.model;
-  serving.sla_ttft = cfg.sla_ttft;
-  serving.sla_tpot = cfg.sla_tpot;
-  serving.prefill_token_budget = cfg.prefill_token_budget;
-  serving.decode_batch_limit = cfg.decode_batch_limit;
-  serving.r_frac = cfg.r_frac;
-  serving.kernel = cfg.kernel;
-  serving.seed = cfg.seed;
+  serve::ServingOptions serving = cfg.serving;
   // The abort deadline is a *drain budget* after the last arrival; at low
   // rates the arrival horizon itself can exceed any fixed wall.
   serving.max_sim_time =
-      cfg.max_sim_time + (trace.empty() ? 0.0 : trace.back().arrival);
+      cfg.serving.max_sim_time + (trace.empty() ? 0.0 : trace.back().arrival);
 
   serve::ClusterSim cluster(network, engine, *scheduler, result.plan,
                             serving);

@@ -20,6 +20,11 @@
 #include "topology/builders.hpp"
 #include "workload/trace.hpp"
 
+namespace hero::obs {
+class EventTracer;
+class MetricsRegistry;
+}  // namespace hero::obs
+
 namespace hero {
 
 enum class SystemKind : std::uint8_t {
@@ -37,24 +42,32 @@ inline constexpr std::array<SystemKind, 4> kAllSystems{
 
 struct ExperimentConfig {
   topo::Graph topology;
-  llm::ModelConfig model;
   wl::TraceOptions workload;
 
-  Time sla_ttft = 2.5;
-  Time sla_tpot = 0.15;
-  double r_frac = 0.8;
+  /// Everything the serving simulator consumes — model, SLAs, batching
+  /// limits, KV memory fraction, kernel noise, seed — lives here exactly
+  /// once; the planner derives its inputs from the same fields. One twist:
+  /// `serving.max_sim_time` is a *drain budget* counted from the last
+  /// arrival (run_experiment adds the arrival horizon before serving), so
+  /// low-rate long traces are not cut off by a fixed wall.
+  serve::ServingOptions serving = [] {
+    serve::ServingOptions s;
+    s.seed = 7;  // experiment-level default, distinct from ClusterSim's 1
+    return s;
+  }();
+
   /// Minimum tensor-parallel width (planner::PlannerInputs::min_p_tens).
   std::size_t min_p_tens = 1;
   std::size_t max_candi = 20;
   std::size_t batch_q = 8;  ///< planner's assumed batch size Q
 
-  online::OnlineConfig online;   ///< HeroServe's scheduler knobs
-  coll::EngineConfig engine;     ///< T_agg, fallback host bandwidth
-  gpu::KernelModelOptions kernel;
-  std::size_t prefill_token_budget = 16384;
-  std::size_t decode_batch_limit = 128;
-  Time max_sim_time = 3600.0;
-  std::uint64_t seed = 7;
+  online::OnlineConfig online;  ///< HeroServe's scheduler knobs
+  coll::EngineConfig engine;    ///< T_agg, fallback host bandwidth
+
+  /// Optional observability sinks, attached to the run's simulator for the
+  /// whole plan->deploy->serve pipeline. Null = tracing off (zero cost).
+  obs::EventTracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ExperimentResult {

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hero::net {
 namespace {
@@ -67,6 +69,21 @@ TransferId FlowNetwork::start_transfer(const topo::Path& path, Bytes bytes,
   t.pipelined = opts.pipelined;
   t.on_complete = std::move(opts.on_complete);
   auto [it, inserted] = transfers_.emplace(id, std::move(t));
+  if (obs::EventTracer* tr = sim_->tracer()) {
+    tr->async_begin(
+        sim_->now(), id, "net.flow",
+        graph_->node(path.nodes.front()).name + "->" +
+            graph_->node(path.nodes.back()).name,
+        {obs::arg("bytes", bytes), obs::arg("hops", path.edges.size()),
+         obs::arg("pipelined", opts.pipelined)});
+    tr->counter(sim_->now(), "net.active_transfers",
+                static_cast<double>(transfers_.size()));
+  }
+  if (obs::MetricsRegistry* m = sim_->metrics()) {
+    m->counter("net.transfers").add();
+    m->gauge("net.active_transfers")
+        .set(sim_->now(), static_cast<double>(transfers_.size()));
+  }
   begin_hop(it->second);
   return id;
 }
@@ -101,7 +118,21 @@ void FlowNetwork::cancel_transfer(TransferId id) {
     sim_->cancel(it->second.completion_event);
   }
   const bool was_in_flight = it->second.in_flight;
+  std::string flow_name =
+      graph_->node(it->second.path.nodes.front()).name + "->" +
+      graph_->node(it->second.path.nodes.back()).name;
   transfers_.erase(it);
+  if (obs::EventTracer* tr = sim_->tracer()) {
+    tr->async_end(sim_->now(), id, "net.flow", std::move(flow_name),
+                  {obs::arg("cancelled", true)});
+    tr->counter(sim_->now(), "net.active_transfers",
+                static_cast<double>(transfers_.size()));
+  }
+  if (obs::MetricsRegistry* m = sim_->metrics()) {
+    m->counter("net.cancelled").add();
+    m->gauge("net.active_transfers")
+        .set(sim_->now(), static_cast<double>(transfers_.size()));
+  }
   if (was_in_flight) reallocate();
 }
 
@@ -206,10 +237,27 @@ void FlowNetwork::reallocate() {
       link_rate_[link.index()] += t.rate;
     }
   }
+  obs::MetricsRegistry* metrics = sim_->metrics();
+  if (metrics != nullptr && link_gauges_.empty()) {
+    link_gauges_.assign(link_rate_.size(), nullptr);
+  }
   for (std::size_t i = 0; i < link_rate_.size(); ++i) {
     const DirectedLink link{static_cast<topo::EdgeId>(i / 2), (i % 2) == 0};
     const Bandwidth cap = link_capacity(link);
-    link_util_avg_[i].observe(now, cap > 0 ? link_rate_[i] / cap : 0.0);
+    const double util = cap > 0 ? link_rate_[i] / cap : 0.0;
+    link_util_avg_[i].observe(now, util);
+    if (metrics != nullptr) {
+      // Per-link utilization timeline (the controller's "hardware
+      // counters"); a link's gauge appears once it first carries traffic.
+      if (link_gauges_[i] == nullptr && util > 0.0) {
+        const topo::Edge& e = graph_->edge(link.edge);
+        const topo::NodeId from = link.forward ? e.a : e.b;
+        const topo::NodeId to = link.forward ? e.b : e.a;
+        link_gauges_[i] = &metrics->gauge("link." + graph_->node(from).name +
+                                          "->" + graph_->node(to).name);
+      }
+      if (link_gauges_[i] != nullptr) link_gauges_[i]->set(now, util);
+    }
   }
 
   // Reschedule completion events.
@@ -264,7 +312,19 @@ void FlowNetwork::on_hop_complete(TransferId id) {
     return;
   }
   auto cb = std::move(t.on_complete);
+  std::string flow_name = graph_->node(t.path.nodes.front()).name + "->" +
+                          graph_->node(t.path.nodes.back()).name;
   transfers_.erase(it);
+  if (obs::EventTracer* tr = sim_->tracer()) {
+    tr->async_end(now, id, "net.flow", std::move(flow_name));
+    tr->counter(now, "net.active_transfers",
+                static_cast<double>(transfers_.size()));
+  }
+  if (obs::MetricsRegistry* m = sim_->metrics()) {
+    m->counter("net.completed").add();
+    m->gauge("net.active_transfers")
+        .set(now, static_cast<double>(transfers_.size()));
+  }
   reallocate();
   if (cb) cb(id);
 }

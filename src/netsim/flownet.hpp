@@ -25,6 +25,10 @@
 #include "topology/graph.hpp"
 #include "topology/paths.hpp"
 
+namespace hero::obs {
+class Gauge;
+}  // namespace hero::obs
+
 namespace hero::net {
 
 using TransferId = std::uint64_t;
@@ -124,6 +128,7 @@ class FlowNetwork {
   mutable std::vector<double> link_rate_;     // per directed link, busy rate
   std::vector<TimeWeighted> link_util_avg_;   // per directed link
   std::vector<Bytes> link_delivered_;         // per directed link
+  std::vector<obs::Gauge*> link_gauges_;      // lazily bound metric gauges
 
   /// Directed links the transfer currently occupies: the single current
   /// hop for store-and-forward flows, every hop for pipelined ones.

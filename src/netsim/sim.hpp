@@ -15,6 +15,11 @@
 
 #include "common/units.hpp"
 
+namespace hero::obs {
+class EventTracer;
+class MetricsRegistry;
+}  // namespace hero::obs
+
 namespace hero::sim {
 
 using EventId = std::uint64_t;
@@ -44,6 +49,17 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const;
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  // --- observability ---
+  //
+  // Everything simulated hangs off one Simulator, so the simulator is where
+  // the observability sinks attach. Both default to null ("tracing off");
+  // instrumented subsystems test the pointer before recording, which keeps
+  // the disabled path free of work.
+  void attach_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
+  void attach_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  [[nodiscard]] obs::EventTracer* tracer() const { return tracer_; }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   struct Event {
     Time at;
@@ -58,6 +74,8 @@ class Simulator {
   };
 
   Time now_ = 0.0;
+  obs::EventTracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;

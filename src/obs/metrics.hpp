@@ -1,0 +1,129 @@
+// Metrics registry for the simulated serving stack.
+//
+// Named counters (monotonic totals: collectives, fallbacks, transfers),
+// gauges (piecewise-constant signals with time-weighted averaging and a
+// change-point timeline: link utilization, queue depths, KV occupancy), and
+// time-weighted histograms (fraction of simulated time a signal spent in
+// each value bucket). Backends snapshot the registry at any sim time; two
+// identical seeded runs produce byte-identical snapshots.
+//
+// Like the tracer, the registry is reached through
+// sim::Simulator::metrics() and is null unless attached, so the disabled
+// path costs one pointer test.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace hero::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// One change-point of a gauge's timeline.
+struct GaugePoint {
+  Time time = 0.0;
+  double value = 0.0;
+};
+
+/// Piecewise-constant signal: current value, time-weighted average/peak,
+/// and the full change-point timeline (repeated equal values collapse).
+class Gauge {
+ public:
+  void set(Time now, double value);
+
+  [[nodiscard]] double current() const { return tw_.current(); }
+  [[nodiscard]] double average() const { return tw_.average(); }
+  [[nodiscard]] double peak() const { return tw_.peak(); }
+  [[nodiscard]] const std::vector<GaugePoint>& timeline() const {
+    return timeline_;
+  }
+
+ private:
+  TimeWeighted tw_;
+  std::vector<GaugePoint> timeline_;
+};
+
+/// Time-weighted histogram over [lo, hi): how long the observed signal sat
+/// in each bucket (out-of-range clamps to the end buckets).
+class TimeHistogram {
+ public:
+  TimeHistogram(double lo, double hi, std::size_t buckets);
+
+  /// The signal takes `value` from `now` onwards (and held its previous
+  /// value up to `now`).
+  void observe(Time now, double value);
+
+  [[nodiscard]] std::size_t bucket_count() const { return time_in_.size(); }
+  [[nodiscard]] Time time_in(std::size_t bucket) const;
+  /// Fraction of total observed time spent in `bucket`.
+  [[nodiscard]] double fraction(std::size_t bucket) const;
+  [[nodiscard]] double bucket_lo(std::size_t bucket) const;
+  [[nodiscard]] double bucket_hi(std::size_t bucket) const;
+  [[nodiscard]] Time total_time() const { return total_; }
+
+ private:
+  double lo_, width_;
+  std::vector<Time> time_in_;
+  Time total_ = 0.0;
+  bool started_ = false;
+  Time last_time_ = 0.0;
+  double last_value_ = 0.0;
+
+  [[nodiscard]] std::size_t bucket_of(double value) const;
+};
+
+/// One registry snapshot: every metric, sorted by name (deterministic).
+struct MetricsSnapshot {
+  Time time = 0.0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  struct GaugeRow {
+    std::string name;
+    double current = 0.0;
+    double average = 0.0;
+    double peak = 0.0;
+  };
+  std::vector<GaugeRow> gauges;
+
+  /// Stable textual rendering (tests compare runs through this).
+  [[nodiscard]] std::string to_string() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. Names are stable identifiers like "coll.ops" or
+  /// "serve.kv_util"; creation order does not affect snapshots.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  TimeHistogram& histogram(std::string_view name, double lo, double hi,
+                           std::size_t buckets);
+
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const TimeHistogram* find_histogram(
+      std::string_view name) const;
+
+  [[nodiscard]] MetricsSnapshot snapshot(Time now) const;
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, TimeHistogram, std::less<>> histograms_;
+};
+
+}  // namespace hero::obs

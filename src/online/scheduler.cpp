@@ -5,6 +5,8 @@
 
 #include "common/format.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hero::online {
 namespace {
@@ -109,20 +111,46 @@ void OnlineScheduler::controller_tick() {
     table->sync_costs_from_network(*network_);
     table->update_penalties(network_, config_);
   }
-  network_->simulator().schedule_in(config_.sync_period,
-                                    [this] { controller_tick(); });
+  ++controller_ticks_;
+  sim::Simulator& s = network_->simulator();
+  if (obs::EventTracer* tr = s.tracer()) {
+    tr->instant(s.now(), tr->track("controller"), "controller", "tick",
+                {obs::arg("tick", controller_ticks_),
+                 obs::arg("groups", tables_.size())});
+  }
+  if (obs::MetricsRegistry* m = s.metrics()) {
+    m->counter("online.controller_ticks").add(1);
+  }
+  s.schedule_in(config_.sync_period, [this] { controller_tick(); });
 }
 
 coll::AllReducePlan OnlineScheduler::plan_all_reduce(GroupId group,
                                                      Bytes bytes) {
   PolicyTable& table = *tables_.at(group);
   const std::size_t choice = table.select(bytes, config_);
+  sim::Simulator& s = network_->simulator();
+  if (obs::EventTracer* tr = s.tracer()) {
+    // One instant per scheduling decision: which policy Eq. 16 picked, its
+    // J = b_c + delta score, and whether the Eq. 17 bump is applied now or
+    // still propagating through a slow controller.
+    tr->instant(s.now(), tr->track("scheduler"), "policy_decision",
+                table.policy(choice).name,
+                {obs::arg("group", names_.at(group)),
+                 obs::arg("policy_id", static_cast<std::uint64_t>(choice)),
+                 obs::arg("cost_j", table.cost_of(choice, bytes, config_)),
+                 obs::arg("cost_b", table.policy(choice).cost),
+                 obs::arg("bytes", static_cast<std::uint64_t>(bytes)),
+                 obs::arg("penalty_deferred", config_.controller_delay > 0)});
+  }
+  if (obs::MetricsRegistry* m = s.metrics()) {
+    m->counter(strfmt("online.selected.{}", table.policy(choice).name))
+        .add(1);
+  }
   if (config_.controller_delay > 0) {
     // Table updates propagate through the controller with a delay.
-    network_->simulator().schedule_in(
-        config_.controller_delay, [this, group, choice, bytes] {
-          tables_.at(group)->apply_selection(choice, bytes, config_);
-        });
+    s.schedule_in(config_.controller_delay, [this, group, choice, bytes] {
+      tables_.at(group)->apply_selection(choice, bytes, config_);
+    });
   } else {
     table.apply_selection(choice, bytes, config_);
   }
@@ -135,8 +163,9 @@ const PolicyTable& OnlineScheduler::table(GroupId group) const {
   return *tables_.at(group);
 }
 
-PolicyTable& OnlineScheduler::table(GroupId group) {
-  return *tables_.at(group);
+void OnlineScheduler::seed_cost_for_test(GroupId group, std::size_t policy,
+                                         double cost) {
+  tables_.at(group)->policy(policy).cost = cost;
 }
 
 HeroCommScheduler::HeroCommScheduler(net::FlowNetwork& network,

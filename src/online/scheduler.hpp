@@ -51,10 +51,20 @@ class OnlineScheduler {
   [[nodiscard]] coll::AllReducePlan plan_all_reduce(GroupId group,
                                                     Bytes bytes);
 
+  /// Read-only view of a group's policy cost table. Mutation goes through
+  /// the named methods below so observers (tests, the obs layer, demos)
+  /// cannot silently corrupt the Eq. 17 cost state.
   [[nodiscard]] const PolicyTable& table(GroupId group) const;
-  [[nodiscard]] PolicyTable& table(GroupId group);
   [[nodiscard]] std::size_t group_count() const { return tables_.size(); }
   [[nodiscard]] const OnlineConfig& config() const { return config_; }
+  [[nodiscard]] const std::string& group_name(GroupId group) const {
+    return names_.at(group);
+  }
+
+  /// Test/experiment hook: overwrite one policy's measured cost b_c, as if
+  /// the controller had calibrated it to `cost`. The next controller tick
+  /// re-syncs from network measurements as usual.
+  void seed_cost_for_test(GroupId group, std::size_t policy, double cost);
 
  private:
   net::FlowNetwork* network_;
@@ -62,6 +72,7 @@ class OnlineScheduler {
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<PolicyTable>> tables_;
   bool started_ = false;
+  std::uint64_t controller_ticks_ = 0;
 
   void controller_tick();
 };

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/format.hpp"
 #include "common/log.hpp"
 #include "gpusim/gpu_spec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hero::serve {
 
@@ -116,6 +119,20 @@ void ClusterSim::record_kv(Time now) {
   if (kv_timeline_.empty() || kv_timeline_.back().utilization != util) {
     kv_timeline_.push_back(KvSample{now, util});
   }
+  if (obs::MetricsRegistry* m = simulator().metrics()) {
+    m->gauge("serve.kv_utilization").set(now, util);
+  }
+}
+
+void ClusterSim::trace_request_end(const ActiveRequest& ar, Time now) {
+  if (obs::EventTracer* tr = simulator().tracer()) {
+    tr->async_end(now, ar.req.id, "request", strfmt("req{}", ar.req.id),
+                  {obs::arg("ttft", ar.first_token - ar.req.arrival),
+                   obs::arg("generated", ar.generated)});
+  }
+  if (obs::MetricsRegistry* m = simulator().metrics()) {
+    m->counter("serve.retired").add(1);
+  }
 }
 
 void ClusterSim::on_arrival(wl::Request request) {
@@ -123,8 +140,20 @@ void ClusterSim::on_arrival(wl::Request request) {
   ar->req = request;
   log::debug("t={} arrival req {} in={} out={}", simulator().now(),
              request.id, request.input_tokens, request.output_tokens);
+  const Time now = simulator().now();
+  if (obs::EventTracer* tr = simulator().tracer()) {
+    tr->async_begin(now, request.id, "request",
+                    strfmt("req{}", request.id),
+                    {obs::arg("input_tokens", request.input_tokens),
+                     obs::arg("output_tokens", request.output_tokens)});
+  }
   prefill_queue_.push_back(std::move(ar));
   ++submitted_;
+  if (obs::MetricsRegistry* m = simulator().metrics()) {
+    m->counter("serve.arrivals").add(1);
+    m->gauge("serve.prefill_queue")
+        .set(now, static_cast<double>(prefill_queue_.size()));
+  }
   try_start_prefill();
 }
 
@@ -147,6 +176,17 @@ void ClusterSim::try_start_prefill() {
 
   log::debug("t={} prefill batch start: {} reqs, k_in={}",
              simulator().now(), batch->requests.size(), batch->k_in);
+  const Time now = simulator().now();
+  if (obs::EventTracer* tr = simulator().tracer()) {
+    tr->begin_span(now, tr->track("prefill"), "prefill", "batch",
+                   {obs::arg("requests", batch->requests.size()),
+                    obs::arg("k_in", batch->k_in)});
+  }
+  if (obs::MetricsRegistry* m = simulator().metrics()) {
+    m->counter("serve.prefill_batches").add(1);
+    m->gauge("serve.prefill_queue")
+        .set(now, static_cast<double>(prefill_queue_.size()));
+  }
   // Stage chain + per-pair KV transfers run to a joint barrier.
   batch->barrier = 1;
   prefill_running_ = std::move(batch);
@@ -163,15 +203,34 @@ void ClusterSim::start_kv_transfers(PrefillBatch& batch) {
         ar->req.input_tokens, plan_.prefill.parallel.p_tens);
   }
   if (per_gpu <= 0.0 || prefill_gpus_.empty()) return;
+  obs::EventTracer* tr = simulator().tracer();
   for (std::size_t i = 0; i < prefill_gpus_.size(); ++i) {
     const std::size_t j = i * decode_gpus_.size() / prefill_gpus_.size();
     const topo::Path path =
         scheduler_->unicast_path(prefill_gpus_[i], decode_gpus_[j]);
     ++batch.barrier;
+    std::uint64_t span = 0;
+    if (tr) {
+      span = tr->next_async_id();
+      tr->async_begin(
+          simulator().now(), span, "kv", "kv_transfer",
+          {obs::arg("bytes", per_gpu),
+           obs::arg("src", network_->graph().node(prefill_gpus_[i]).name),
+           obs::arg("dst", network_->graph().node(decode_gpus_[j]).name)});
+    }
     net::TransferOptions opts;
     opts.pipelined = true;  // RDMA bulk stream, not per-hop store-and-forward
-    opts.on_complete = [this](net::TransferId) { on_prefill_piece_done(); };
+    opts.on_complete = [this, tr, span](net::TransferId) {
+      if (tr) {
+        tr->async_end(simulator().now(), span, "kv", "kv_transfer", {});
+      }
+      on_prefill_piece_done();
+    };
     network_->start_transfer(path, per_gpu, std::move(opts));
+  }
+  if (obs::MetricsRegistry* m = simulator().metrics()) {
+    m->counter("serve.kv_transfers")
+        .add(static_cast<std::uint64_t>(prefill_gpus_.size()));
   }
 }
 
@@ -180,39 +239,43 @@ void ClusterSim::run_prefill_stage(std::size_t stage_index) {
   PrefillBatch& batch = *prefill_running_;
   const Time compute = stage.kernel->prefill_time(
       batch.k_in, batch.k_in2, stage.layers, stage.p_tens);
+  if (obs::EventTracer* tr = simulator().tracer()) {
+    tr->begin_span(simulator().now(), tr->track("prefill"), "prefill",
+                   strfmt("stage{}", stage_index),
+                   {obs::arg("compute_s", compute),
+                    obs::arg("k_in", batch.k_in)});
+  }
   simulator().schedule_in(compute, [this, stage_index] {
     Stage& st = prefill_stages_[stage_index];
     PrefillBatch& b = *prefill_running_;
     const Bytes volume =
         opts_.model.iteration_sync_volume(std::max<std::size_t>(b.k_in, 1),
                                           st.layers);
+    // Close the stage span (compute + sync), then step the chain or hit
+    // the batch barrier.
+    auto advance = [this, stage_index] {
+      if (obs::EventTracer* tr = simulator().tracer()) {
+        tr->end_span(simulator().now(), tr->track("prefill"), {});
+      }
+      if (stage_index + 1 < prefill_stages_.size()) {
+        run_prefill_stage(stage_index + 1);
+      } else {
+        const Time now = simulator().now();
+        for (auto& ar : prefill_running_->requests) {
+          ar->first_token = now;
+        }
+        on_prefill_piece_done();
+      }
+    };
     if (st.p_tens <= 1) {
       // No tensor parallelism: nothing to synchronize.
-      simulator().schedule_in(0.0, [this, stage_index] {
-        if (stage_index + 1 < prefill_stages_.size()) {
-          run_prefill_stage(stage_index + 1);
-        } else {
-          const Time now = simulator().now();
-          for (auto& ar : prefill_running_->requests) {
-            ar->first_token = now;
-          }
-          on_prefill_piece_done();
-        }
-      });
+      simulator().schedule_in(0.0, advance);
       return;
     }
     coll::AllReducePlan plan = scheduler_->all_reduce_plan(st.group, volume);
     engine_->all_reduce(std::move(plan),
-                        [this, stage_index](const coll::AllReduceResult&) {
-                          if (stage_index + 1 < prefill_stages_.size()) {
-                            run_prefill_stage(stage_index + 1);
-                          } else {
-                            const Time now = simulator().now();
-                            for (auto& ar : prefill_running_->requests) {
-                              ar->first_token = now;
-                            }
-                            on_prefill_piece_done();
-                          }
+                        [advance](const coll::AllReduceResult&) {
+                          advance();
                         });
   });
 }
@@ -222,9 +285,18 @@ void ClusterSim::on_prefill_piece_done() {
   if (--batch.barrier != 0) return;
   log::debug("t={} prefill batch done ({} reqs)", simulator().now(),
              batch.requests.size());
+  const Time now = simulator().now();
+  if (obs::EventTracer* tr = simulator().tracer()) {
+    tr->end_span(now, tr->track("prefill"),
+                 {obs::arg("requests", batch.requests.size())});
+  }
   // Prefill and KV transfer both finished: hand to decode.
   for (auto& ar : batch.requests) {
     decode_wait_queue_.push_back(std::move(ar));
+  }
+  if (obs::MetricsRegistry* m = simulator().metrics()) {
+    m->gauge("serve.decode_wait")
+        .set(now, static_cast<double>(decode_wait_queue_.size()));
   }
   prefill_running_.reset();
   try_admit_decode();
@@ -249,12 +321,18 @@ void ClusterSim::try_admit_decode() {
       // The prefill token was the whole response.
       owned->finish = now;
       kv_used_ -= owned->kv_reserved;
+      trace_request_end(*owned, now);
       retired_.push_back(std::move(owned));
     } else {
       decoding_.push_back(std::move(owned));
     }
   }
   record_kv(now);
+  if (obs::MetricsRegistry* m = simulator().metrics()) {
+    m->gauge("serve.decode_wait")
+        .set(now, static_cast<double>(decode_wait_queue_.size()));
+    m->gauge("serve.decoding").set(now, static_cast<double>(decoding_.size()));
+  }
   if (!decode_busy_ && !decoding_.empty()) start_decode_iteration();
 }
 
@@ -268,6 +346,14 @@ void ClusterSim::start_decode_iteration() {
   std::size_t ctx = 0;
   for (std::size_t i = 0; i < batch_size; ++i) {
     ctx += decoding_[i]->req.input_tokens + decoding_[i]->generated + 1;
+  }
+  if (obs::EventTracer* tr = simulator().tracer()) {
+    tr->begin_span(simulator().now(), tr->track("decode"), "decode",
+                   "iteration",
+                   {obs::arg("batch", batch_size), obs::arg("ctx", ctx)});
+  }
+  if (obs::MetricsRegistry* m = simulator().metrics()) {
+    m->counter("serve.decode_iterations").add(1);
   }
 
   // All pipeline stages run concurrently (steady-state pipelining).
@@ -303,15 +389,22 @@ void ClusterSim::on_decode_iteration_done(std::size_t batch_size) {
 
   // Retire finished requests (first token came from prefill, so a request
   // needs output_tokens - 1 decode steps).
+  std::size_t retired_now = 0;
   for (std::size_t i = batch_size; i-- > 0;) {
     ActiveRequest& ar = *decoding_[i];
     if (ar.generated + 1 >= ar.req.output_tokens) {
       ar.finish = now;
       kv_used_ -= ar.kv_reserved;
       log::debug("t={} retire req {}", now, ar.req.id);
+      trace_request_end(ar, now);
+      ++retired_now;
       retired_.push_back(std::move(decoding_[i]));
       decoding_.erase(decoding_.begin() + static_cast<std::ptrdiff_t>(i));
     }
+  }
+  if (obs::EventTracer* tr = simulator().tracer()) {
+    tr->end_span(now, tr->track("decode"),
+                 {obs::arg("retired", retired_now)});
   }
   record_kv(now);
   decode_busy_ = false;
@@ -323,6 +416,11 @@ ServingReport ClusterSim::run(const wl::Trace& trace) {
   sim::Simulator& sim = simulator();
   const std::uint64_t ops_before = engine_->ops_completed;
   const std::uint64_t fb_before = engine_->fallbacks_taken;
+  obs::EventTracer* tr = sim.tracer();
+  const std::uint64_t tr_coll_before =
+      tr ? tr->count("collective", obs::Phase::kAsyncEnd) : 0;
+  const std::uint64_t tr_fb_before =
+      tr ? tr->count("ina_fallback", obs::Phase::kInstant) : 0;
   record_kv(sim.now());
 
   for (const wl::Request& r : trace) {
@@ -385,6 +483,25 @@ ServingReport ClusterSim::run(const wl::Trace& trace) {
   report.kv_timeline = kv_timeline_;
   report.collectives = engine_->ops_completed - ops_before;
   report.ina_fallbacks = engine_->fallbacks_taken - fb_before;
+  if (tr) {
+    // The engine and the tracer count the same completions through
+    // independent paths; a mismatch means instrumentation drift.
+    report.trace_checked = true;
+    report.trace_collectives =
+        tr->count("collective", obs::Phase::kAsyncEnd) - tr_coll_before;
+    report.trace_ina_fallbacks =
+        tr->count("ina_fallback", obs::Phase::kInstant) - tr_fb_before;
+    report.trace_consistent =
+        report.trace_collectives == report.collectives &&
+        report.trace_ina_fallbacks == report.ina_fallbacks;
+    if (!report.trace_consistent) {
+      log::warn(
+          "serving trace cross-check mismatch: engine collectives={} "
+          "fallbacks={} vs tracer collectives={} fallbacks={}",
+          report.collectives, report.ina_fallbacks, report.trace_collectives,
+          report.trace_ina_fallbacks);
+    }
+  }
   return report;
 }
 

@@ -73,6 +73,14 @@ struct ServingReport {
   std::uint64_t collectives = 0;
   std::uint64_t ina_fallbacks = 0;
   std::size_t gpus_used = 0;
+  /// Cross-check against the attached EventTracer (tentpole invariant):
+  /// when a tracer is attached, `collectives`/`ina_fallbacks` (counted by
+  /// the engine) must equal the number of collective spans / fallback
+  /// instants the tracer recorded during this run.
+  bool trace_checked = false;      ///< a tracer was attached to the run
+  bool trace_consistent = true;    ///< engine counters == tracer totals
+  std::uint64_t trace_collectives = 0;
+  std::uint64_t trace_ina_fallbacks = 0;
 };
 
 class ClusterSim {
@@ -132,6 +140,7 @@ class ClusterSim {
   void start_decode_iteration();
   void on_decode_iteration_done(std::size_t batch_size);
   void record_kv(Time now);
+  void trace_request_end(const ActiveRequest& ar, Time now);
 
   [[nodiscard]] Bytes kv_bytes_per_request(std::size_t total_tokens) const;
 };

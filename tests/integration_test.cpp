@@ -11,21 +11,21 @@ namespace {
 ExperimentConfig chatbot_config(double rate, std::size_t count) {
   ExperimentConfig cfg;
   cfg.topology = topo::make_testbed();
-  cfg.model = llm::opt_66b();
+  cfg.serving.model = llm::opt_66b();
   cfg.workload.rate = rate;
   cfg.workload.count = count;
   cfg.workload.lengths = wl::sharegpt_lengths();
   cfg.workload.seed = 11;
-  cfg.sla_ttft = 2.5;
-  cfg.sla_tpot = 0.15;
+  cfg.serving.sla_ttft = 2.5;
+  cfg.serving.sla_tpot = 0.15;
   return cfg;
 }
 
 TEST(Experiment, AllSystemsServeTheTrace) {
   // Loose SLAs: this test is about end-to-end mechanics, not the knee.
   ExperimentConfig cfg = chatbot_config(1.0, 20);
-  cfg.sla_ttft = 5.0;
-  cfg.sla_tpot = 0.3;
+  cfg.serving.sla_ttft = 5.0;
+  cfg.serving.sla_tpot = 0.3;
   for (SystemKind kind : kAllSystems) {
     const ExperimentResult r = run_experiment(kind, cfg);
     ASSERT_TRUE(r.ok()) << to_string(kind) << ": "
@@ -57,13 +57,13 @@ TEST(Experiment, HeroBeatsDistServeUnderLoad) {
   tracks.gpus_per_server = 4;
   ExperimentConfig cfg;
   cfg.topology = topo::make_tracks_cluster(tracks);
-  cfg.model = llm::opt_175b();
+  cfg.serving.model = llm::opt_175b();
   cfg.workload.rate = 3.0;
   cfg.workload.count = 60;
   cfg.workload.lengths = wl::sharegpt_lengths();
   cfg.workload.seed = 23;
-  cfg.sla_ttft = 4.0;
-  cfg.sla_tpot = 0.2;
+  cfg.serving.sla_ttft = 4.0;
+  cfg.serving.sla_tpot = 0.2;
   // The paper's deployment premise (SII-B, Fig. 1): instances span servers.
   cfg.min_p_tens = 8;
   const ExperimentResult hero =
@@ -91,7 +91,7 @@ TEST(Experiment, HeroKeepsKvMemoryLower) {
 
 TEST(Experiment, InfeasibleSlaYieldsNotOk) {
   ExperimentConfig cfg = chatbot_config(1.0, 10);
-  cfg.sla_ttft = 1e-6;
+  cfg.serving.sla_ttft = 1e-6;
   const ExperimentResult r = run_experiment(SystemKind::kHeroServe, cfg);
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.report.completed, 0u);
@@ -109,7 +109,7 @@ TEST(FindMaxRate, BracketsAttainmentTarget) {
 
 TEST(FindMaxRate, ZeroWhenLowerBoundFails) {
   ExperimentConfig cfg = chatbot_config(1.0, 30);
-  cfg.sla_tpot = 1e-5;  // unattainable
+  cfg.serving.sla_tpot = 1e-5;  // unattainable
   const RateSearchResult search =
       find_max_rate(SystemKind::kHeroServe, cfg, 0.25, 4.0, 0.9, 3);
   EXPECT_DOUBLE_EQ(search.max_rate, 0.0);
@@ -119,7 +119,7 @@ TEST(FailureInjection, DegradedUplinksHurtDistServeMoreThanHero) {
   // Halving a couple of Ethernet uplinks is routed around by HeroServe's
   // heterogeneous paths; DistServe's static Ethernet ring eats the loss.
   ExperimentConfig cfg = chatbot_config(2.0, 40);
-  cfg.sla_ttft = 5.0;  // headroom so every system still deploys
+  cfg.serving.sla_ttft = 5.0;  // headroom so every system still deploys
   // Degrade the first two GPU uplink edges (Ethernet).
   int degraded = 0;
   for (topo::EdgeId e = 0; e < cfg.topology.edge_count() && degraded < 2;

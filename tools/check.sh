@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Run the tier-1 test suite under AddressSanitizer + UBSanitizer.
+#
+#   tools/check.sh [extra ctest args...]
+#
+# Uses the `asan-ubsan` CMake preset (build-asan/, benches off). Any
+# sanitizer report fails the run (-fno-sanitize-recover=all).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+ctest --preset asan-ubsan -j "$(nproc)" "$@"
