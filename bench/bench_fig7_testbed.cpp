@@ -19,16 +19,17 @@ namespace {
 using namespace hero;
 
 struct Scenario {
-  const char* name;
+  const char* name = nullptr;
   wl::LengthDistribution lengths;
-  Time sla_ttft;
-  Time sla_tpot;
-  double lo, hi;
+  Time sla_ttft = 0.0;
+  Time sla_tpot = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
   /// Minimum TP width. 8 mandates cross-server tensor groups — the
   /// deployment of the paper's own Fig. 1 profile and SII-B premise; 1
   /// leaves the planner free (on this 4-GPU-server testbed it then packs
   /// stages inside NVLink domains and the systems legitimately tie).
-  std::size_t min_p_tens;
+  std::size_t min_p_tens = 1;
 };
 
 const Scenario kChatbot{"chatbot (cross-server TP8)", wl::sharegpt_lengths(),

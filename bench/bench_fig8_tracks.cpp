@@ -18,11 +18,11 @@ namespace {
 using namespace hero;
 
 struct TrackSetup {
-  const char* name;
-  int servers;
-  int tracks;
-  int servers_per_pod;
-  int cores;
+  const char* name = nullptr;
+  int servers = 0;
+  int tracks = 0;
+  int servers_per_pod = 0;
+  int cores = 0;
 };
 
 const TrackSetup kTwoTracks{"2tracks", 18, 2, 6, 3};

@@ -5,12 +5,14 @@
 // serves a ShareGPT-like trace under HeroServe and the three baselines,
 // printing TTFT/TPOT/SLA-attainment for each.
 //
-//   ./build/examples/quickstart [rate] [requests] [--trace out.json]
+//   ./build/examples/quickstart [rate] [requests] [--seed N]
+//                               [--trace out.json]
 //
 // With --trace, the HeroServe run records a Chrome trace (open in
 // chrome://tracing or https://ui.perfetto.dev): request lifecycles,
 // prefill/decode spans, KV transfers, every collective with its chosen
 // policy and Eq. 16 cost, and controller ticks.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,15 +27,21 @@
 int main(int argc, char** argv) {
   using namespace hero;
   const char* trace_path = nullptr;
+  std::uint64_t seed = 1;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0) {
+    if (std::strcmp(argv[i], "--trace") == 0 ||
+        std::strcmp(argv[i], "--seed") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "usage: quickstart [rate] [requests] "
-                             "[--trace out.json]\n");
+                             "[--seed N] [--trace out.json]\n");
         return 1;
       }
-      trace_path = argv[++i];
+      if (std::strcmp(argv[i], "--trace") == 0) {
+        trace_path = argv[++i];
+      } else {
+        seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      }
     } else {
       positional.push_back(argv[i]);
     }
@@ -50,12 +58,14 @@ int main(int argc, char** argv) {
   cfg.workload.rate = rate;
   cfg.workload.count = requests;
   cfg.workload.lengths = wl::sharegpt_lengths();
-  cfg.workload.seed = 1;
+  cfg.workload.seed = seed;
+  cfg.serving.seed = seed;
   cfg.serving.sla_ttft = 2.5;  // chatbot SLA (SV)
   cfg.serving.sla_tpot = 0.15;
 
   std::printf("HeroServe quickstart: OPT-66B chatbot on the Fig. 6 testbed\n");
-  std::printf("rate = %.2f req/s, %zu requests\n\n", rate, requests);
+  std::printf("rate = %.2f req/s, %zu requests, seed = %llu\n\n", rate,
+              requests, static_cast<unsigned long long>(seed));
 
   obs::EventTracer tracer;
   obs::MetricsRegistry metrics;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -255,6 +256,12 @@ void CollectiveEngine::ina_collect(Op& op) {
 }
 
 void CollectiveEngine::run_fallback(Op& op) {
+  // Fallback consistency: only a best-effort (async INA) reservation can
+  // be rejected into the end-host path, and never while holding slots.
+  HERO_INVARIANT(op.plan.scheme == Scheme::kInaAsync,
+                 "fallback taken for scheme {}", to_string(op.plan.scheme));
+  HERO_INVARIANT(!op.holds_slots, "op {} falls back while holding slots",
+                 op.id);
   if (op.plan.fallback_node == topo::kInvalidNode ||
       op.plan.fallback_up.size() != op.plan.wide_members.size() ||
       op.plan.fallback_down.size() != op.plan.wide_members.size()) {
@@ -348,6 +355,17 @@ void CollectiveEngine::start_broadcast_phase(Op& op) {
 }
 
 void CollectiveEngine::finish(Op& op) {
+  // Every phase barrier must have drained before an op completes.
+  HERO_INVARIANT(op.flows_pending == 0,
+                 "op {} finished with {} flows pending", op.id,
+                 op.flows_pending);
+  HERO_INVARIANT(op.local_pending == 0,
+                 "op {} finished with {} local rings pending", op.id,
+                 op.local_pending);
+  HERO_INVARIANT(op.result.used_fallback ? op.plan.scheme == Scheme::kInaAsync
+                                         : true,
+                 "op {} recorded fallback under scheme {}", op.id,
+                 to_string(op.plan.scheme));
   op.result.end = network_->simulator().now();
   ++ops_completed;
   if (op.holds_slots) {
@@ -504,8 +522,8 @@ std::vector<topo::NodeId> rank_aggregation_switches(
     const topo::Graph& g, const std::vector<topo::NodeId>& members,
     topo::PathConstraints constraints, std::size_t count) {
   struct Scored {
-    topo::NodeId sw;
-    Time score;
+    topo::NodeId sw = topo::kInvalidNode;
+    Time score = 0.0;
   };
   topo::PathOptions opts;
   opts.constraints = constraints;

@@ -1,0 +1,34 @@
+#include "common/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hero::check {
+namespace {
+
+void default_handler(const char* kind, const char* file, int line,
+                     const char* condition, const std::string& message) {
+  std::fprintf(stderr, "%s:%d: HERO_%s failed: %s%s%s\n", file, line,
+               kind[0] == 'r' ? "REQUIRE" : "INVARIANT", condition,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+std::atomic<FailureHandler> g_handler{nullptr};
+std::atomic<std::uint64_t> g_failures{0};
+
+}  // namespace
+
+void set_failure_handler(FailureHandler handler) { g_handler = handler; }
+
+std::uint64_t failures_observed() { return g_failures.load(); }
+
+void fail(const char* kind, const char* file, int line, const char* condition,
+          const std::string& message) {
+  g_failures.fetch_add(1);
+  FailureHandler h = g_handler.load();
+  (h != nullptr ? h : &default_handler)(kind, file, line, condition, message);
+}
+
+}  // namespace hero::check

@@ -1,0 +1,90 @@
+// Runtime invariant subsystem.
+//
+// HERO_INVARIANT(cond, ...)  — internal-consistency check ("this cannot
+//                              happen unless the simulation state is
+//                              corrupt"): per-link allocated rate vs.
+//                              capacity, event-time monotonicity, slot
+//                              refcounts, cost-table non-negativity.
+// HERO_REQUIRE(cond, ...)    — precondition check at a subsystem boundary
+//                              ("the caller handed us garbage").
+//
+// Both macros are *compiled out* unless the HERO_VALIDATE CMake option is
+// ON (`cmake --preset validate`): the condition is type-checked via
+// sizeof() but never evaluated, so release builds pay nothing and validate
+// builds catch drift the tier-1 assertions are too coarse to see. Under
+// HERO_VALIDATE a failed check formats file:line, the condition text, and
+// an optional strfmt() message, then invokes the failure handler — by
+// default fatal (abort). Tests install a recording handler via
+// set_failure_handler() to observe checks firing without dying.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/format.hpp"
+
+namespace hero::check {
+
+/// Invoked on a failed HERO_INVARIANT/HERO_REQUIRE (HERO_VALIDATE builds
+/// only). `kind` is "invariant" or "require". The default handler prints
+/// the failure to stderr and aborts; a handler that returns (or throws)
+/// lets tests continue past the failure.
+using FailureHandler = void (*)(const char* kind, const char* file, int line,
+                                const char* condition,
+                                const std::string& message);
+
+/// Install a failure handler; nullptr restores the fatal default.
+void set_failure_handler(FailureHandler handler);
+
+/// Total checks failed process-wide (survives handler swaps; tests use it
+/// to assert "nothing fired" across a whole scenario).
+[[nodiscard]] std::uint64_t failures_observed();
+
+/// Dispatch a failure to the current handler (macro plumbing).
+void fail(const char* kind, const char* file, int line, const char* condition,
+          const std::string& message);
+
+/// True when this translation unit was built with HERO_VALIDATE.
+[[nodiscard]] constexpr bool enabled() {
+#if defined(HERO_VALIDATE)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+inline std::string message() { return {}; }
+template <typename... Args>
+std::string message(std::string_view fmt, Args&&... args) {
+  return strfmt(fmt, std::forward<Args>(args)...);
+}
+}  // namespace detail
+
+}  // namespace hero::check
+
+#if defined(HERO_VALIDATE)
+
+#define HERO_CHECK_IMPL(kind, cond, ...)                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::hero::check::fail(kind, __FILE__, __LINE__, #cond,                \
+                          ::hero::check::detail::message(__VA_ARGS__));   \
+    }                                                                     \
+  } while (0)
+
+#define HERO_INVARIANT(cond, ...) HERO_CHECK_IMPL("invariant", cond, __VA_ARGS__)
+#define HERO_REQUIRE(cond, ...) HERO_CHECK_IMPL("require", cond, __VA_ARGS__)
+
+#else  // !HERO_VALIDATE: type-check the condition, never evaluate it.
+
+#define HERO_INVARIANT(cond, ...) \
+  do {                            \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (0)
+#define HERO_REQUIRE(cond, ...)   \
+  do {                            \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (0)
+
+#endif

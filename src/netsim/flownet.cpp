@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -143,11 +145,14 @@ void FlowNetwork::progress_to_now() {
     const Time dt = now - t.last_update;
     if (dt > 0) {
       const Bytes moved = std::min(t.hop_left, t.rate * dt);
+      HERO_INVARIANT(moved >= 0.0, "transfer {} moved {} bytes", id, moved);
       t.hop_left -= moved;
       for (const DirectedLink& link : active_links(t)) {
         link_delivered_[link.index()] += moved;
       }
       t.last_update = now;
+      HERO_INVARIANT(t.hop_left >= 0.0,
+                     "transfer {} hop_left {} underflow", id, t.hop_left);
     }
   }
 }
@@ -157,12 +162,15 @@ void FlowNetwork::compute_max_min_rates() {
   // links (pipelined mode): fixing a flow at the bottleneck's fair share
   // consumes capacity on every other link it crosses.
   struct LinkState {
-    double residual;
+    double residual = 0.0;
     double weight_sum = 0.0;
   };
-  std::unordered_map<std::size_t, LinkState> links;
+  // Ordered by directed-link index: when two links tie for the bottleneck
+  // share, the winner must not depend on hash order (it decides which
+  // flows get fixed first, and therefore every later rate).
+  std::map<std::size_t, LinkState> links;
   struct Entry {
-    Transfer* t;
+    Transfer* t = nullptr;
     std::vector<DirectedLink> spans;
   };
   std::vector<Entry> unfixed;
@@ -244,6 +252,11 @@ void FlowNetwork::reallocate() {
   for (std::size_t i = 0; i < link_rate_.size(); ++i) {
     const DirectedLink link{static_cast<topo::EdgeId>(i / 2), (i % 2) == 0};
     const Bandwidth cap = link_capacity(link);
+    // Max-min filling must never over-subscribe a directed link (small
+    // relative slack absorbs progressive-filling rounding).
+    HERO_INVARIANT(link_rate_[i] <= cap + 1e-6 * std::max(cap, 1.0),
+                   "link {} allocated {} B/s over capacity {} B/s", i,
+                   link_rate_[i], cap);
     const double util = cap > 0 ? link_rate_[i] / cap : 0.0;
     link_util_avg_[i].observe(now, util);
     if (metrics != nullptr) {
@@ -311,6 +324,14 @@ void FlowNetwork::on_hop_complete(TransferId id) {
     reallocate();
     return;
   }
+  // Bytes-in == bytes-out: the final hop (or the single pipelined stream)
+  // delivered the whole payload up to floating-point residue.
+  HERO_INVARIANT(t.hop_left <= kEpsilonBytes,
+                 "transfer {} completed with {} bytes undelivered", id,
+                 t.hop_left);
+  HERO_INVARIANT(t.pipelined || t.hop == t.path.edges.size(),
+                 "transfer {} finished on hop {}/{}", id, t.hop,
+                 t.path.edges.size());
   auto cb = std::move(t.on_complete);
   std::string flow_name = graph_->node(t.path.nodes.front()).name + "->" +
                           graph_->node(t.path.nodes.back()).name;

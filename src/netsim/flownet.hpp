@@ -17,7 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -123,7 +123,10 @@ class FlowNetwork {
   sim::Simulator* sim_;
   const topo::Graph* graph_;
   TransferId next_id_ = 1;
-  std::unordered_map<TransferId, Transfer> transfers_;
+  /// Ordered by id (= start order) so every rate-update loop, fair-share
+  /// tie-break, and debug dump is independent of hash order. The sim is
+  /// only reproducible because iteration order here is specified.
+  std::map<TransferId, Transfer> transfers_;
   std::vector<double> degradation_;           // per edge
   mutable std::vector<double> link_rate_;     // per directed link, busy rate
   std::vector<TimeWeighted> link_util_avg_;   // per directed link

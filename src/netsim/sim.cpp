@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/check.hpp"
+
 namespace hero::sim {
 
 EventId Simulator::schedule(Time at, Callback cb) {
@@ -32,6 +34,11 @@ bool Simulator::step() {
       continue;
     }
     pending_ids_.erase(ev.id);
+    // The calendar executes in (time, insertion) order; time running
+    // backwards means the comparator or an in-callback mutation broke the
+    // deterministic ordering contract.
+    HERO_INVARIANT(ev.at >= now_, "event {} at t={} before now={}", ev.id,
+                   ev.at, now_);
     now_ = ev.at;
     ++executed_;
     ev.cb();

@@ -62,8 +62,8 @@ class Simulator {
 
  private:
   struct Event {
-    Time at;
-    EventId id;
+    Time at = 0.0;
+    EventId id = kInvalidEvent;
     Callback cb;
   };
   struct Later {

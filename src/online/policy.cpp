@@ -1,9 +1,12 @@
 #include "online/policy.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "common/check.hpp"
 
 namespace hero::online {
 
@@ -15,9 +18,12 @@ Bandwidth Policy::bottleneck_capacity(const topo::Graph& g) const {
 
 std::vector<topo::EdgeId> plan_edges(const coll::AllReducePlan& plan,
                                      const topo::Graph& g) {
-  std::unordered_set<topo::EdgeId> seen;
+  // Sorted + deduplicated: the edge order feeds floating-point
+  // accumulations in update_penalties(), so it must not depend on hash
+  // order (summation is not associative).
+  std::vector<topo::EdgeId> edges;
   auto add_path = [&](const topo::Path& p) {
-    for (topo::EdgeId e : p.edges) seen.insert(e);
+    edges.insert(edges.end(), p.edges.begin(), p.edges.end());
   };
   for (const topo::Path& p : plan.ring_paths) add_path(p);
   for (const topo::Path& p : plan.up_paths) add_path(p);
@@ -27,7 +33,9 @@ std::vector<topo::EdgeId> plan_edges(const coll::AllReducePlan& plan,
       add_path(coll::direct_nvlink_path(g, group[0], group[i]));
     }
   }
-  return {seen.begin(), seen.end()};
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
 }
 
 PolicyTable::PolicyTable(std::vector<Policy> policies,
@@ -97,12 +105,19 @@ void PolicyTable::apply_selection(std::size_t selected, Bytes data,
       break;
     }
   }
+  HERO_INVARIANT(delta >= 0.0 && std::isfinite(delta),
+                 "Eq. 16 delta {} for policy {}", delta, sel.name);
   for (std::size_t c = 0; c < policies_.size(); ++c) {
     if (c == selected) {
       policies_[c].cost += delta;
     } else {
       policies_[c].cost += delta * penalty_[selected][c];
     }
+    // The cost table only ever accumulates non-negative bumps on top of
+    // measured utilization; a negative or non-finite entry means the
+    // Eq. 17 bookkeeping (or a penalty weight) is corrupt.
+    HERO_INVARIANT(policies_[c].cost >= 0.0 && std::isfinite(policies_[c].cost),
+                   "cost table corrupt: b[{}] = {}", c, policies_[c].cost);
   }
 }
 
@@ -138,6 +153,11 @@ void PolicyTable::update_penalties(const net::FlowNetwork* net,
       const double ratio = total > 0 ? shared / total : 0.0;
       penalty_[sel][other] =
           (1.0 - cfg.gamma) * penalty_[sel][other] + cfg.gamma * ratio;
+      // Eq. 18 sharing ratios are convex combinations of values in [0,1].
+      HERO_INVARIANT(penalty_[sel][other] >= 0.0 &&
+                         penalty_[sel][other] <= 1.0 + 1e-12,
+                     "penalty f[{}][{}] = {}", sel, other,
+                     penalty_[sel][other]);
     }
   }
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "common/format.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
@@ -91,6 +92,15 @@ OnlineScheduler::OnlineScheduler(net::FlowNetwork& network,
 
 GroupId OnlineScheduler::register_group(std::string name,
                                         std::vector<Policy> policies) {
+  for (const Policy& p : policies) {
+    // Policy/link bookkeeping: every policy must carry its deduplicated,
+    // deterministically ordered edge set (plan_edges() contract) — the
+    // Eq. 18 sharing ratios are summed in this order.
+    HERO_REQUIRE(std::is_sorted(p.edges.begin(), p.edges.end()) &&
+                     std::adjacent_find(p.edges.begin(), p.edges.end()) ==
+                         p.edges.end(),
+                 "policy {} edge set not sorted/unique", p.name);
+  }
   names_.push_back(std::move(name));
   tables_.push_back(std::make_unique<PolicyTable>(std::move(policies),
                                                   network_->graph()));
@@ -126,8 +136,11 @@ void OnlineScheduler::controller_tick() {
 
 coll::AllReducePlan OnlineScheduler::plan_all_reduce(GroupId group,
                                                      Bytes bytes) {
+  HERO_REQUIRE(bytes >= 0, "plan_all_reduce: negative payload {}", bytes);
   PolicyTable& table = *tables_.at(group);
   const std::size_t choice = table.select(bytes, config_);
+  HERO_INVARIANT(choice < table.size(), "policy choice {} of {}", choice,
+                 table.size());
   sim::Simulator& s = network_->simulator();
   if (obs::EventTracer* tr = s.tracer()) {
     // One instant per scheduling decision: which policy Eq. 16 picked, its

@@ -65,8 +65,9 @@ std::vector<std::vector<std::size_t>> constrained_kmeans(
     // Greedy capacity-constrained assignment: all (gpu, centroid) pairs by
     // ascending distance; fill groups up to group_size.
     struct Pair {
-      double dist;
-      std::size_t gpu, group;
+      double dist = 0.0;
+      std::size_t gpu = 0;
+      std::size_t group = 0;
     };
     std::vector<Pair> pairs;
     pairs.reserve(n * groups);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "common/format.hpp"
 #include "common/log.hpp"
 #include "gpusim/gpu_spec.hpp"
@@ -114,6 +115,11 @@ Bytes ClusterSim::kv_bytes_per_request(std::size_t total_tokens) const {
 }
 
 void ClusterSim::record_kv(Time now) {
+  // KV reservations are released exactly once per retirement; drift in
+  // either direction corrupts the admission gate and Fig. 10 accounting.
+  HERO_INVARIANT(kv_used_ >= -1e-6, "KV accounting underflow: {}", kv_used_);
+  HERO_INVARIANT(kv_used_ <= kv_budget_ + 1e-6,
+                 "KV over-reserved: {} of budget {}", kv_used_, kv_budget_);
   const double util = kv_budget_ > 0 ? kv_used_ / kv_budget_ : 0.0;
   kv_util_.observe(now, util);
   if (kv_timeline_.empty() || kv_timeline_.back().utilization != util) {
@@ -447,11 +453,25 @@ ServingReport ClusterSim::run(const wl::Trace& trace) {
   report.gpus_used = prefill_gpus_.size() + decode_gpus_.size();
   Time last_finish = 0.0;
   std::size_t within_sla = 0;
+  HERO_INVARIANT(retired_.size() <= submitted_,
+                 "retired {} requests of {} submitted", retired_.size(),
+                 submitted_);
   for (const auto& ar : retired_) {
     if (ar->finish < 0) continue;
     ++report.completed;
     last_finish = std::max(last_finish, ar->finish);
     const Time ttft = ar->first_token - ar->req.arrival;
+    // TTFT/TPOT accounting: the lifecycle timestamps must be causally
+    // ordered (arrival <= first token <= finish) or the percentile stats
+    // silently ingest garbage.
+    HERO_INVARIANT(ttft >= 0.0, "req {}: first token {} before arrival {}",
+                   ar->req.id, ar->first_token, ar->req.arrival);
+    HERO_INVARIANT(ar->finish >= ar->first_token,
+                   "req {}: finish {} before first token {}", ar->req.id,
+                   ar->finish, ar->first_token);
+    HERO_INVARIANT(ar->generated + 1 >= ar->req.output_tokens,
+                   "req {}: retired after {} of {} tokens", ar->req.id,
+                   ar->generated + 1, ar->req.output_tokens);
     report.ttft.add(ttft);
     Time tpot = 0.0;
     if (ar->req.output_tokens > 1) {
@@ -494,6 +514,14 @@ ServingReport ClusterSim::run(const wl::Trace& trace) {
     report.trace_consistent =
         report.trace_collectives == report.collectives &&
         report.trace_ina_fallbacks == report.ina_fallbacks;
+    // The engine and tracer count the same completions through independent
+    // paths; under HERO_VALIDATE instrumentation drift is fatal, not a
+    // warning.
+    HERO_INVARIANT(report.trace_consistent,
+                   "engine/tracer drift: {} vs {} collectives, {} vs {} "
+                   "fallbacks",
+                   report.collectives, report.trace_collectives,
+                   report.ina_fallbacks, report.trace_ina_fallbacks);
     if (!report.trace_consistent) {
       log::warn(
           "serving trace cross-check mismatch: engine collectives={} "

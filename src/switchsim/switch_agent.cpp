@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace hero::sw {
 
 SwitchAgent::SwitchAgent(sim::Simulator& simulator, topo::NodeId node,
@@ -37,6 +39,11 @@ Admission SwitchAgent::reserve(JobId job, std::uint32_t slots,
 void SwitchAgent::grant(JobId job, std::uint32_t slots,
                         std::function<void()> on_grant) {
   in_use_ += slots;
+  // Slot refcount: grants must never oversubscribe the aggregator pool
+  // (reserve() clamps and admit_from_queue() checks fit before calling).
+  HERO_INVARIANT(in_use_ <= total_slots_,
+                 "switch {}: {} slots in use of {}", node_, in_use_,
+                 total_slots_);
   granted_.emplace(job, slots);
   if (on_grant) sim_->schedule_in(0.0, std::move(on_grant));
 }
@@ -44,6 +51,9 @@ void SwitchAgent::grant(JobId job, std::uint32_t slots,
 void SwitchAgent::release(JobId job) {
   auto it = granted_.find(job);
   if (it == granted_.end()) return;
+  HERO_INVARIANT(in_use_ >= it->second,
+                 "switch {}: releasing {} slots with only {} in use", node_,
+                 it->second, in_use_);
   in_use_ -= it->second;
   granted_.erase(it);
   admit_from_queue();

@@ -69,8 +69,8 @@ class SwitchAgent {
 
  private:
   struct Pending {
-    JobId job;
-    std::uint32_t slots;
+    JobId job = 0;
+    std::uint32_t slots = 0;
     std::function<void()> on_grant;
   };
 

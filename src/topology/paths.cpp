@@ -19,9 +19,9 @@ Bandwidth edge_bandwidth(const Graph& g, EdgeId e,
 // be enforced: leaving an interior GPU requires the incoming or outgoing hop
 // to be NVLink.
 struct State {
-  double dist;
-  NodeId node;
-  std::uint8_t via_nvlink;  // 1 if the edge that reached `node` was NVLink
+  double dist = 0.0;
+  NodeId node = kInvalidNode;
+  std::uint8_t via_nvlink = 0;  // 1 if the edge that reached `node` was NVLink
   bool operator>(const State& o) const { return dist > o.dist; }
 };
 

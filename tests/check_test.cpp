@@ -1,0 +1,115 @@
+// Tests for the HERO_INVARIANT / HERO_REQUIRE runtime-check subsystem.
+//
+// The same binary is built twice in CI: default (checks compiled out) and
+// the `validate` preset (checks fatal unless a handler is installed).
+// Tests here cover both modes — mode-specific expectations key off
+// hero::check::enabled().
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+struct Captured {
+  std::string kind;
+  std::string file;
+  std::string condition;
+  std::string message;
+  int line = 0;
+  int count = 0;
+};
+
+Captured g_cap;
+
+void record_failure(const char* kind, const char* file, int line,
+                    const char* condition, const std::string& message) {
+  g_cap.kind = kind;
+  g_cap.file = file;
+  g_cap.line = line;
+  g_cap.condition = condition;
+  g_cap.message = message;
+  ++g_cap.count;
+}
+
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_cap = {};
+    hero::check::set_failure_handler(&record_failure);
+  }
+  void TearDown() override { hero::check::set_failure_handler(nullptr); }
+};
+
+TEST_F(CheckTest, FailDispatchesToHandlerWithDetails) {
+  // fail() is ordinary code, present in every build mode.
+  const auto before = hero::check::failures_observed();
+  hero::check::fail("invariant", "somefile.cpp", 42, "x > 0",
+                    "x was -3");
+  EXPECT_EQ(g_cap.count, 1);
+  EXPECT_EQ(g_cap.kind, "invariant");
+  EXPECT_EQ(g_cap.file, "somefile.cpp");
+  EXPECT_EQ(g_cap.line, 42);
+  EXPECT_EQ(g_cap.condition, "x > 0");
+  EXPECT_EQ(g_cap.message, "x was -3");
+  EXPECT_EQ(hero::check::failures_observed(), before + 1);
+}
+
+TEST_F(CheckTest, PassingCheckNeverFires) {
+  HERO_INVARIANT(2 + 2 == 4, "arithmetic broke");
+  HERO_REQUIRE(true);
+  EXPECT_EQ(g_cap.count, 0);
+}
+
+TEST_F(CheckTest, ConditionEvaluatedOnlyUnderValidate) {
+  // Release builds must pay nothing: the condition is type-checked via
+  // sizeof() but never evaluated, so the side effect below runs exactly
+  // zero times. Under HERO_VALIDATE it runs once.
+  int calls = 0;
+  auto bump = [&calls]() {
+    ++calls;
+    return true;
+  };
+  HERO_INVARIANT(bump(), "never fails");
+  EXPECT_EQ(calls, hero::check::enabled() ? 1 : 0);
+  EXPECT_EQ(g_cap.count, 0);
+}
+
+TEST_F(CheckTest, FailingInvariantReportsConditionAndMessage) {
+  if (!hero::check::enabled()) {
+    GTEST_SKIP() << "checks compiled out (build with --preset validate)";
+  }
+  const auto before = hero::check::failures_observed();
+  const int x = -3;
+  HERO_INVARIANT(x >= 0, "x went negative: {}", x);
+  ASSERT_EQ(g_cap.count, 1);
+  EXPECT_EQ(g_cap.kind, "invariant");
+  EXPECT_NE(g_cap.condition.find("x >= 0"), std::string::npos);
+  EXPECT_EQ(g_cap.message, "x went negative: -3");
+  EXPECT_NE(g_cap.file.find("check_test"), std::string::npos);
+  EXPECT_GT(g_cap.line, 0);
+  EXPECT_EQ(hero::check::failures_observed(), before + 1);
+}
+
+TEST_F(CheckTest, FailingRequireUsesRequireKind) {
+  if (!hero::check::enabled()) {
+    GTEST_SKIP() << "checks compiled out (build with --preset validate)";
+  }
+  HERO_REQUIRE(1 + 1 == 3);
+  ASSERT_EQ(g_cap.count, 1);
+  EXPECT_EQ(g_cap.kind, "require");
+  EXPECT_TRUE(g_cap.message.empty());
+}
+
+TEST_F(CheckTest, HandlerSwapRestoresDefault) {
+  // nullptr restores the fatal default; we only verify the setter accepts
+  // it and that our recording handler stops receiving failures... by not
+  // failing anything afterwards (the default aborts).
+  hero::check::set_failure_handler(nullptr);
+  hero::check::set_failure_handler(&record_failure);
+  hero::check::fail("require", "f.cpp", 1, "c", "");
+  EXPECT_EQ(g_cap.count, 1);
+}
+
+}  // namespace

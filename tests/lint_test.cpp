@@ -1,0 +1,275 @@
+// Tests for the hero-lint rule engine (tools/lint/lint_core).
+//
+// Fixtures are in-memory source snippets run through lint_source(), so
+// the tests exercise exactly what the CLI exercises without touching the
+// filesystem or a binary path.
+#include "lint_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace {
+
+using herolint::FileContext;
+using herolint::Finding;
+
+std::vector<Finding> lint(const std::string& src, bool library = true,
+                          bool rng_module = false) {
+  FileContext ctx;
+  ctx.library = library;
+  ctx.rng_module = rng_module;
+  return herolint::lint_source("fixture.cpp", src, ctx);
+}
+
+int count_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(fs.begin(), fs.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(LintTest, CleanFileHasNoFindings) {
+  const std::string src = R"cpp(
+#include <map>
+#include <vector>
+
+struct Stats {
+  double mean = 0.0;
+  int samples = 0;
+};
+
+double total(const std::map<int, double>& m) {
+  double sum = 0.0;
+  for (const auto& [k, v] : m) sum += v;
+  return sum;
+}
+)cpp";
+  EXPECT_TRUE(lint(src).empty());
+}
+
+TEST(LintTest, RangeForOverUnorderedContainerFires) {
+  const std::string src = R"cpp(
+#include <unordered_map>
+std::unordered_map<int, double> rates;
+double sum() {
+  double s = 0.0;
+  for (const auto& [id, r] : rates) s += r;
+  return s;
+}
+)cpp";
+  const auto fs = lint(src);
+  ASSERT_EQ(count_rule(fs, "unordered-iter"), 1);
+  EXPECT_EQ(fs[0].line, 6);
+}
+
+TEST(LintTest, BeginEndOverUnorderedContainerFires) {
+  const std::string src = R"cpp(
+#include <unordered_set>
+std::unordered_set<int> seen;
+void drain(std::vector<int>& out) {
+  out.assign(seen.begin(), seen.end());
+}
+)cpp";
+  EXPECT_GE(count_rule(lint(src), "unordered-iter"), 1);
+}
+
+TEST(LintTest, FindEndSentinelComparisonDoesNotFire) {
+  // `it == c.end()` after find() is a membership test, not a traversal.
+  const std::string src = R"cpp(
+#include <unordered_map>
+std::unordered_map<int, int> cache;
+bool hit(int k) {
+  auto it = cache.find(k);
+  if (it == cache.end()) return false;
+  return it != cache.end();
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "unordered-iter"), 0);
+}
+
+TEST(LintTest, OrderedContainerIterationDoesNotFire) {
+  const std::string src = R"cpp(
+#include <map>
+std::map<int, double> rates;
+double sum() {
+  double s = 0.0;
+  for (const auto& [id, r] : rates) s += r;
+  return s;
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "unordered-iter"), 0);
+}
+
+TEST(LintTest, WallClockSourcesFire) {
+  const std::string src = R"cpp(
+#include <chrono>
+double now_s() {
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "wall-clock"), 1);
+}
+
+TEST(LintTest, AmbientRngFires) {
+  const std::string src = R"cpp(
+#include <random>
+int roll() {
+  static std::mt19937 gen{std::random_device{}()};
+  return static_cast<int>(gen());
+}
+)cpp";
+  EXPECT_GE(count_rule(lint(src), "ambient-rng"), 2);
+}
+
+TEST(LintTest, RngModuleIsExemptFromAmbientRng) {
+  const std::string src = R"cpp(
+#include <random>
+std::mt19937 make_engine(unsigned seed) { return std::mt19937{seed}; }
+)cpp";
+  EXPECT_EQ(count_rule(lint(src, /*library=*/true, /*rng_module=*/true),
+                       "ambient-rng"),
+            0);
+  EXPECT_GE(count_rule(lint(src), "ambient-rng"), 1);
+}
+
+TEST(LintTest, FloatEqualityFires) {
+  const std::string src = R"cpp(
+bool done(double x) { return x == 1.0; }
+bool pending(double x) { return 0.5 != x; }
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "float-equal"), 2);
+}
+
+TEST(LintTest, EpsilonComparisonDoesNotFire) {
+  const std::string src = R"cpp(
+bool near_one(double x) { return x >= 1.0 - 1e-9 && x <= 1.0 + 1e-9; }
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "float-equal"), 0);
+}
+
+TEST(LintTest, IostreamOnlyFlaggedInLibraryCode) {
+  const std::string src = R"cpp(
+#include <iostream>
+void hello() {}
+)cpp";
+  EXPECT_EQ(count_rule(lint(src, /*library=*/true), "iostream"), 1);
+  EXPECT_EQ(count_rule(lint(src, /*library=*/false), "iostream"), 0);
+}
+
+TEST(LintTest, UninitStructMemberFires) {
+  const std::string src = R"cpp(
+struct Event {
+  double at;
+  int id;
+  bool cancelled = false;
+};
+)cpp";
+  const auto fs = lint(src);
+  EXPECT_EQ(count_rule(fs, "uninit-member"), 2);
+}
+
+TEST(LintTest, ClassAndEnumMembersAreNotFlagged) {
+  // Classes establish invariants in constructors; enum class bodies are
+  // not aggregates at all.
+  const std::string src = R"cpp(
+class Engine {
+ public:
+  explicit Engine(int n);
+ private:
+  double rate_;
+  int count_;
+};
+enum class Scheme {
+  kRing,
+  kInaSync
+};
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "uninit-member"), 0);
+}
+
+TEST(LintTest, TokensInCommentsAndStringsAreMasked) {
+  const std::string src = R"cpp(
+// steady_clock would be nondeterministic; rand() too.
+/* for (auto& x : some_unordered) {} */
+const char* kDoc = "uses std::mt19937 and x == 1.0 internally";
+)cpp";
+  EXPECT_TRUE(lint(src).empty());
+}
+
+TEST(LintTest, AllowSuppressesOnSameAndPreviousLine) {
+  const std::string same = R"cpp(
+#include <chrono>
+auto t = std::chrono::steady_clock::now();  // hero-lint: allow(wall-clock)
+)cpp";
+  EXPECT_TRUE(lint(same).empty());
+
+  const std::string prev = R"cpp(
+#include <chrono>
+// hero-lint: allow(wall-clock)
+auto t = std::chrono::steady_clock::now();
+)cpp";
+  EXPECT_TRUE(lint(prev).empty());
+}
+
+TEST(LintTest, AllowOfOtherRuleDoesNotSuppress) {
+  const std::string src = R"cpp(
+#include <chrono>
+auto t = std::chrono::steady_clock::now();  // hero-lint: allow(ambient-rng)
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "wall-clock"), 1);
+}
+
+TEST(LintTest, AllowFileSuppressesRuleFileWide) {
+  const std::string src = R"cpp(
+// hero-lint: allow-file(float-equal)
+bool a(double x) { return x == 1.0; }
+bool b(double x) { return x != 2.0; }
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "float-equal"), 0);
+}
+
+TEST(LintTest, ClassifyPathMatchesRepoConventions) {
+  EXPECT_TRUE(herolint::classify_path("src/netsim/flownet.cpp").library);
+  EXPECT_TRUE(herolint::classify_path("/root/repo/src/online/policy.cpp")
+                  .library);
+  EXPECT_FALSE(herolint::classify_path("tests/flownet_test.cpp").library);
+  EXPECT_FALSE(herolint::classify_path("examples/quickstart.cpp").library);
+  EXPECT_TRUE(herolint::classify_path("src/common/rng.hpp").rng_module);
+  EXPECT_FALSE(herolint::classify_path("src/common/format.hpp").rng_module);
+}
+
+TEST(LintTest, RuleIdsAreStableAndSorted) {
+  const auto& ids = herolint::rule_ids();
+  EXPECT_EQ(ids.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(LintTest, JsonReportContainsFindings) {
+  const std::string src = R"cpp(
+bool done(double x) { return x == 1.0; }
+)cpp";
+  const auto fs = lint(src);
+  ASSERT_EQ(fs.size(), 1u);
+  const std::string json = herolint::to_json(fs);
+  EXPECT_NE(json.find("\"fixture.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"float-equal\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 2"), std::string::npos);
+}
+
+TEST(LintTest, FindingsSortedByLine) {
+  const std::string src = R"cpp(
+#include <chrono>
+bool done(double x) { return x == 1.0; }
+auto t = std::chrono::steady_clock::now();
+)cpp";
+  const auto fs = lint(src);
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_LT(fs[0].line, fs[1].line);
+  EXPECT_EQ(fs[0].rule, "float-equal");
+  EXPECT_EQ(fs[1].rule, "wall-clock");
+}
+
+}  // namespace

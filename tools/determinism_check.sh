@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Determinism gate: the whole stack is a seeded discrete-event simulation,
+# so two runs with the same seed must be byte-identical — stdout (plan,
+# serving table, metrics snapshot) and the Chrome trace JSON alike. Any
+# diff means hash-order, wall-clock, or ambient-RNG leakage; hero-lint
+# catches those statically, this catches what slips through.
+#
+# Usage: tools/determinism_check.sh [build_dir] [seeds...]
+#   default: build, seeds 1 2 3
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+shift $(( $# > 0 ? 1 : 0 ))
+SEEDS=("$@")
+if [ ${#SEEDS[@]} -eq 0 ]; then SEEDS=(1 2 3); fi
+
+QUICKSTART="$(cd "$BUILD_DIR" && pwd)/examples/quickstart"
+if [ ! -x "$QUICKSTART" ]; then
+  echo "determinism_check: $QUICKSTART not built (run: cmake --build $BUILD_DIR -j)" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+RATE=2.0
+REQUESTS=40
+FAIL=0
+
+for seed in "${SEEDS[@]}"; do
+  for run in 1 2; do
+    # Each run gets its own cwd and writes `trace.json` under the same
+    # relative path, so the trace-file name echoed to stdout is identical
+    # and stdout can be byte-compared.
+    mkdir -p "$WORK/run-$seed-$run"
+    ( cd "$WORK/run-$seed-$run" &&
+      "$QUICKSTART" "$RATE" "$REQUESTS" --seed "$seed" \
+          --trace trace.json > stdout.txt )
+  done
+  if ! cmp -s "$WORK/run-$seed-1/stdout.txt" "$WORK/run-$seed-2/stdout.txt"; then
+    echo "determinism_check: FAIL seed=$seed stdout differs between runs" >&2
+    diff "$WORK/run-$seed-1/stdout.txt" "$WORK/run-$seed-2/stdout.txt" | head -20 >&2 || true
+    FAIL=1
+  fi
+  if ! cmp -s "$WORK/run-$seed-1/trace.json" "$WORK/run-$seed-2/trace.json"; then
+    echo "determinism_check: FAIL seed=$seed trace JSON differs between runs" >&2
+    FAIL=1
+  fi
+  if [ "$FAIL" -eq 0 ]; then
+    echo "determinism_check: seed=$seed OK (stdout + trace byte-identical)"
+  fi
+done
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "determinism_check: FAILED" >&2
+  exit 1
+fi
+echo "determinism_check: all ${#SEEDS[@]} seeds reproducible"

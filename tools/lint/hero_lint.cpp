@@ -1,0 +1,125 @@
+// hero_lint CLI: walk the given files/directories, lint every C++
+// source, print findings as `file:line: [rule] message`, and exit
+// non-zero when anything unsuppressed fires. See lint_core.hpp for the
+// rule catalogue.
+//
+// Usage: hero_lint [--json out.json] [--list-rules] [paths...]
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+/// Collect lintable files under `root` (file or directory), sorted so
+/// the report itself is deterministic.
+std::vector<std::string> collect(const std::string& root) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  const fs::file_status st = fs::status(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "hero_lint: cannot stat '%s': %s\n", root.c_str(),
+                 ec.message().c_str());
+    return files;
+  }
+  if (fs::is_regular_file(st)) {
+    files.push_back(root);
+    return files;
+  }
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (it->is_regular_file() && is_cpp_source(it->path())) {
+      files.push_back(it->path().generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& r : herolint::rule_ids()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hero_lint: --json needs a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: hero_lint [--json out.json] [--list-rules] [paths...]\n");
+      return 0;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) roots = {"src", "examples", "bench"};
+
+  std::vector<herolint::Finding> all;
+  std::size_t files_seen = 0;
+  for (const std::string& root : roots) {
+    for (const std::string& file : collect(root)) {
+      std::string content;
+      if (!read_file(file, content)) {
+        std::fprintf(stderr, "hero_lint: cannot read '%s'\n", file.c_str());
+        continue;
+      }
+      ++files_seen;
+      const herolint::FileContext ctx = herolint::classify_path(file);
+      for (herolint::Finding& f : herolint::lint_source(file, content, ctx)) {
+        all.push_back(std::move(f));
+      }
+    }
+  }
+
+  for (const herolint::Finding& f : all) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "hero_lint: cannot write '%s'\n",
+                   json_path.c_str());
+      return 2;
+    }
+    out << herolint::to_json(all);
+  }
+  std::printf("hero_lint: %zu finding%s in %zu file%s\n", all.size(),
+              all.size() == 1 ? "" : "s", files_seen,
+              files_seen == 1 ? "" : "s");
+  return all.empty() ? 0 : 1;
+}

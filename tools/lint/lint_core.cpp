@@ -1,0 +1,519 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace herolint {
+namespace {
+
+const std::vector<std::string> kRuleIds = {
+    "ambient-rng",   "float-equal",    "iostream",
+    "uninit-member", "unordered-iter", "wall-clock"};
+
+/// Split `content` into per-line code text (comments and string/char
+/// literal bodies blanked out with spaces, lengths preserved) and per-line
+/// comment text (everything else blanked). Keeping lengths identical makes
+/// every match index a valid (line, column) in the original file.
+struct MaskedSource {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+
+MaskedSource mask(const std::string& content) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  MaskedSource out;
+  std::string code_line, comment_line;
+  State state = State::kCode;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      out.code.push_back(std::move(code_line));
+      out.comments.push_back(std::move(comment_line));
+      code_line.clear();
+      comment_line.clear();
+      if (state == State::kLineComment) state = State::kCode;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line += "  ";
+          comment_line += "//";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          comment_line += "/*";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += '"';
+          comment_line += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += '\'';
+          comment_line += ' ';
+        } else {
+          code_line += c;
+          comment_line += ' ';
+        }
+        break;
+      case State::kLineComment:
+        code_line += ' ';
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line += "  ";
+          comment_line += "*/";
+          ++i;
+        } else {
+          code_line += ' ';
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code_line += "  ";
+          comment_line += "  ";
+          if (next != '\0' && next != '\n') ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          code_line += '"';
+          comment_line += ' ';
+        } else {
+          code_line += ' ';
+          comment_line += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          comment_line += "  ";
+          if (next != '\0' && next != '\n') ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line += '\'';
+          comment_line += ' ';
+        } else {
+          code_line += ' ';
+          comment_line += ' ';
+        }
+        break;
+    }
+  }
+  out.code.push_back(std::move(code_line));
+  out.comments.push_back(std::move(comment_line));
+  return out;
+}
+
+/// Parse a comma-separated rule list out of "...allow(rule-a, rule-b)...".
+std::set<std::string> parse_allow_list(const std::string& text,
+                                       std::size_t open_paren) {
+  std::set<std::string> rules;
+  const std::size_t close = text.find(')', open_paren);
+  if (close == std::string::npos) return rules;
+  std::string inside = text.substr(open_paren + 1, close - open_paren - 1);
+  std::stringstream ss(inside);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    const auto b = rule.find_first_not_of(" \t");
+    const auto e = rule.find_last_not_of(" \t");
+    if (b != std::string::npos) rules.insert(rule.substr(b, e - b + 1));
+  }
+  return rules;
+}
+
+struct Suppressions {
+  std::set<std::string> file_wide;
+  std::map<int, std::set<std::string>> per_line;  // 1-based line numbers
+
+  [[nodiscard]] bool covers(const std::string& rule, int line) const {
+    if (file_wide.contains(rule)) return true;
+    for (int l : {line, line - 1}) {
+      auto it = per_line.find(l);
+      if (it != per_line.end() && it->second.contains(rule)) return true;
+    }
+    return false;
+  }
+};
+
+Suppressions collect_suppressions(const MaskedSource& src) {
+  Suppressions sup;
+  for (std::size_t i = 0; i < src.comments.size(); ++i) {
+    const std::string& text = src.comments[i];
+    std::size_t pos = text.find("hero-lint:");
+    while (pos != std::string::npos) {
+      const std::size_t file_marker = text.find("allow-file(", pos);
+      const std::size_t line_marker = text.find("allow(", pos);
+      if (file_marker != std::string::npos) {
+        for (const auto& r :
+             parse_allow_list(text, file_marker + 10)) {
+          sup.file_wide.insert(r);
+        }
+      } else if (line_marker != std::string::npos) {
+        for (const auto& r : parse_allow_list(text, line_marker + 5)) {
+          sup.per_line[static_cast<int>(i) + 1].insert(r);
+        }
+      }
+      pos = text.find("hero-lint:", pos + 1);
+    }
+  }
+  return sup;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `text[pos]` starts a freestanding call-like token: not a
+/// member access (`.x`, `->x`), not the tail of a longer identifier.
+/// `::` prefixes are allowed (std::time must be flagged).
+bool freestanding_token(const std::string& text, std::size_t pos) {
+  if (pos == 0) return true;
+  const char prev = text[pos - 1];
+  if (ident_char(prev) || prev == '.') return false;
+  if (prev == '>' && pos >= 2 && text[pos - 2] == '-') return false;
+  return true;
+}
+
+/// Occurrences of `token` followed (after spaces) by '(' that are real
+/// freestanding calls.
+std::vector<std::size_t> find_calls(const std::string& line,
+                                    const std::string& token) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = line.find(token);
+  while (pos != std::string::npos) {
+    std::size_t after = pos + token.size();
+    while (after < line.size() && line[after] == ' ') ++after;
+    if (after < line.size() && line[after] == '(' &&
+        freestanding_token(line, pos)) {
+      hits.push_back(pos);
+    }
+    pos = line.find(token, pos + 1);
+  }
+  return hits;
+}
+
+/// Names declared as std::unordered_map/std::unordered_set in this file.
+/// Token-scans `unordered_map<...> name` with balanced angle brackets;
+/// declarations may span lines.
+std::set<std::string> unordered_names(const MaskedSource& src) {
+  std::string joined;
+  for (const std::string& line : src.code) {
+    joined += line;
+    joined += '\n';
+  }
+  std::set<std::string> names;
+  for (const char* kind : {"unordered_map", "unordered_set"}) {
+    std::size_t pos = joined.find(kind);
+    for (; pos != std::string::npos; pos = joined.find(kind, pos + 1)) {
+      if (pos > 0 && ident_char(joined[pos - 1])) continue;
+      std::size_t i = pos + std::string(kind).size();
+      while (i < joined.size() && std::isspace(static_cast<unsigned char>(
+                                      joined[i]))) {
+        ++i;
+      }
+      if (i >= joined.size() || joined[i] != '<') continue;
+      int depth = 0;
+      for (; i < joined.size(); ++i) {
+        if (joined[i] == '<') ++depth;
+        if (joined[i] == '>') {
+          // Treat >> as two closers (nested template arguments).
+          if (--depth == 0) break;
+        }
+      }
+      if (depth != 0) break;
+      ++i;  // past the closing '>'
+      // Optional cv/ref decoration, then the declared name.
+      while (i < joined.size() &&
+             (std::isspace(static_cast<unsigned char>(joined[i])) ||
+              joined[i] == '&' || joined[i] == '*')) {
+        ++i;
+      }
+      std::size_t name_begin = i;
+      while (i < joined.size() && ident_char(joined[i])) ++i;
+      if (i == name_begin) continue;
+      const std::string name = joined.substr(name_begin, i - name_begin);
+      while (i < joined.size() &&
+             std::isspace(static_cast<unsigned char>(joined[i]))) {
+        ++i;
+      }
+      if (i < joined.size() && (joined[i] == ';' || joined[i] == '=' ||
+                                joined[i] == '{' || joined[i] == ',' ||
+                                joined[i] == ')')) {
+        names.insert(name);
+      }
+    }
+  }
+  return names;
+}
+
+void scan_unordered_iter(const MaskedSource& src,
+                         const std::string& path,
+                         std::vector<Finding>& out) {
+  const std::set<std::string> names = unordered_names(src);
+  if (names.empty()) return;
+  static const std::regex range_for(
+      R"(for\s*\([^():]*:\s*\(?\s*\*?\s*([A-Za-z_]\w*)\s*\))");
+  static const std::regex begin_end(
+      R"(([A-Za-z_]\w*)\s*\.\s*c?(?:begin|end|rbegin|rend)\s*\()");
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& line = src.code[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), range_for);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1];
+      if (names.contains(name)) {
+        out.push_back({path, static_cast<int>(i) + 1, "unordered-iter",
+                       "range-for over unordered container '" + name +
+                           "': iteration order depends on the stdlib hash; "
+                           "use an ordered container or sorted keys"});
+      }
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), begin_end);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1];
+      // `x == c.end()` / `x != c.end()` after find() is a membership
+      // test, not a traversal — skip sentinel comparisons.
+      std::size_t before = static_cast<std::size_t>(it->position(0));
+      while (before > 0 && line[before - 1] == ' ') --before;
+      if (before >= 2 && line[before - 1] == '=' &&
+          (line[before - 2] == '=' || line[before - 2] == '!')) {
+        continue;
+      }
+      if (names.contains(name)) {
+        out.push_back({path, static_cast<int>(i) + 1, "unordered-iter",
+                       "iterator over unordered container '" + name +
+                           "': traversal order depends on the stdlib hash; "
+                           "use an ordered container or sorted keys"});
+      }
+    }
+  }
+}
+
+void scan_wall_clock(const MaskedSource& src, const std::string& path,
+                     std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& line = src.code[i];
+    for (const char* token :
+         {"system_clock", "steady_clock", "high_resolution_clock",
+          "gettimeofday", "localtime", "gmtime"}) {
+      const std::size_t pos = line.find(token);
+      const std::size_t end = pos == std::string::npos
+                                  ? std::string::npos
+                                  : pos + std::string(token).size();
+      if (pos != std::string::npos && freestanding_token(line, pos) &&
+          (end >= line.size() || !ident_char(line[end]))) {
+        out.push_back({path, static_cast<int>(i) + 1, "wall-clock",
+                       std::string("wall-clock source '") + token +
+                           "': simulated time must come from "
+                           "sim::Simulator::now()"});
+      }
+    }
+    for (const char* fn : {"time", "clock"}) {
+      if (!find_calls(line, fn).empty()) {
+        out.push_back({path, static_cast<int>(i) + 1, "wall-clock",
+                       std::string("wall-clock call '") + fn +
+                           "()': simulated time must come from "
+                           "sim::Simulator::now()"});
+      }
+    }
+  }
+}
+
+void scan_ambient_rng(const MaskedSource& src, const std::string& path,
+                      std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& line = src.code[i];
+    for (const char* token : {"random_device", "mt19937", "drand48"}) {
+      const std::size_t pos = line.find(token);
+      if (pos != std::string::npos && freestanding_token(line, pos)) {
+        out.push_back({path, static_cast<int>(i) + 1, "ambient-rng",
+                       std::string("ambient randomness '") + token +
+                           "': derive all randomness from a seeded "
+                           "hero::Rng (common/rng)"});
+      }
+    }
+    for (const char* fn : {"rand", "srand"}) {
+      if (!find_calls(line, fn).empty()) {
+        out.push_back({path, static_cast<int>(i) + 1, "ambient-rng",
+                       std::string("ambient randomness '") + fn +
+                           "()': derive all randomness from a seeded "
+                           "hero::Rng (common/rng)"});
+      }
+    }
+  }
+}
+
+void scan_float_equal(const MaskedSource& src, const std::string& path,
+                      std::vector<Finding>& out) {
+  static const std::regex lit_rhs(
+      R"([=!]=\s*[-+]?(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?[fF]?)");
+  static const std::regex lit_lhs(
+      R"((?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?[fF]?\s*[=!]=)");
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& line = src.code[i];
+    if (std::regex_search(line, lit_rhs) ||
+        std::regex_search(line, lit_lhs)) {
+      out.push_back({path, static_cast<int>(i) + 1, "float-equal",
+                     "exact ==/!= against a floating-point literal: "
+                     "compare with an epsilon or track integer state"});
+    }
+  }
+}
+
+void scan_iostream(const MaskedSource& src, const std::string& path,
+                   std::vector<Finding>& out) {
+  static const std::regex inc(R"(^\s*#\s*include\s*<iostream>)");
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    if (std::regex_search(src.code[i], inc)) {
+      out.push_back({path, static_cast<int>(i) + 1, "iostream",
+                     "<iostream> in library code: log via common/log, "
+                     "print from examples/bench drivers only"});
+    }
+  }
+}
+
+void scan_uninit_member(const MaskedSource& src, const std::string& path,
+                        std::vector<Finding>& out) {
+  // Scalar-ish member types: builtins, fixed-width ints, the repo's
+  // numeric/id aliases, and raw pointers.
+  static const std::regex member(
+      R"(^\s*(?:mutable\s+)?()"
+      R"((?:std::)?(?:u?int(?:8|16|32|64)?_t|size_t|ptrdiff_t)|)"
+      R"(bool|char|short|int|long(?:\s+long)?|unsigned(?:\s+int|\s+long)?|)"
+      R"(float|double|Time|Bytes|Bandwidth|[A-Za-z_][\w:]*Id|)"
+      R"([A-Za-z_][\w:]*(?:<[\w:,\s*&]*>)?\s*\*+)"
+      R"()\s*([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)\s*;\s*$)");
+  // Only `struct` scopes are checked: classes establish invariants in
+  // constructors, while structs are used as aggregates whose members leak
+  // indeterminate values when left bare. `enum class` is not a class.
+  static const std::regex struct_head(R"((?:^|[;{}\s])struct\s+[A-Za-z_]\w*)");
+  static const std::regex skip_kw(
+      R"(^\s*(?:using|typedef|friend|static|constexpr|inline|extern|return))");
+
+  struct Scope {
+    int depth = 0;      // brace depth of the struct body
+    bool is_struct = false;
+  };
+  std::vector<Scope> scopes;
+  int depth = 0;
+  bool pending_struct = false;  // saw a struct head, waiting for its '{'
+
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& line = src.code[i];
+    const bool head_here = std::regex_search(line, struct_head) &&
+                           line.find(';') == std::string::npos &&
+                           line.find("enum") == std::string::npos;
+
+    // Member check happens at the struct body's own depth, before brace
+    // bookkeeping for this line (members and braces rarely share a line).
+    if (!scopes.empty() && scopes.back().is_struct &&
+        depth == scopes.back().depth &&
+        line.find('(') == std::string::npos &&
+        line.find('=') == std::string::npos &&
+        line.find('{') == std::string::npos &&
+        !std::regex_search(line, skip_kw)) {
+      std::smatch m;
+      if (std::regex_match(line, m, member)) {
+        out.push_back({path, static_cast<int>(i) + 1, "uninit-member",
+                       "member '" + m[2].str() +
+                           "' has no initializer: aggregate instances "
+                           "inherit indeterminate values"});
+      }
+    }
+
+    bool struct_opens = head_here || pending_struct;
+    for (const char c : line) {
+      if (c == '{') {
+        ++depth;
+        scopes.push_back({depth, struct_opens});
+        struct_opens = false;
+        pending_struct = false;
+      } else if (c == '}') {
+        if (!scopes.empty() && scopes.back().depth == depth) {
+          scopes.pop_back();
+        }
+        --depth;
+      }
+    }
+    if (head_here && struct_opens) pending_struct = true;
+  }
+}
+
+}  // namespace
+
+FileContext classify_path(const std::string& path) {
+  FileContext ctx;
+  auto contains = [&](const char* needle) {
+    return path.find(needle) != std::string::npos;
+  };
+  ctx.library = contains("/src/") ||
+                path.rfind("src/", 0) == 0;
+  ctx.rng_module = contains("common/rng");
+  return ctx;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 const FileContext& ctx) {
+  const MaskedSource src = mask(content);
+  const Suppressions sup = collect_suppressions(src);
+
+  std::vector<Finding> raw;
+  scan_unordered_iter(src, path, raw);
+  scan_wall_clock(src, path, raw);
+  if (!ctx.rng_module) scan_ambient_rng(src, path, raw);
+  scan_float_equal(src, path, raw);
+  if (ctx.library) scan_iostream(src, path, raw);
+  scan_uninit_member(src, path, raw);
+
+  std::vector<Finding> kept;
+  for (Finding& f : raw) {
+    if (!sup.covers(f.rule, f.line)) kept.push_back(std::move(f));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return kept;
+}
+
+const std::vector<std::string>& rule_ids() { return kRuleIds; }
+
+std::string to_json(const std::vector<Finding>& findings) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  };
+  std::string json = "{\n  \"count\": " + std::to_string(findings.size()) +
+                     ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "    {\"file\": \"" + escape(f.file) +
+            "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+            escape(f.rule) + "\", \"message\": \"" + escape(f.message) +
+            "\"}";
+  }
+  json += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return json;
+}
+
+}  // namespace herolint

@@ -1,0 +1,67 @@
+// hero-lint core: determinism/correctness static analysis for the
+// HeroServe sources.
+//
+// The whole stack is a deterministic discrete-event simulation; the
+// planner (Alg. 1-2) and online scheduler (Eq. 16-18) are reproducible
+// only while nothing in the hot path depends on hash order, wall clocks,
+// or ambient randomness. hero-lint is a plain-text/token scanner (no
+// libclang) that enforces those properties plus two generic correctness
+// rules. Rules:
+//
+//   unordered-iter  iteration (range-for / .begin()/.end()) over a
+//                   variable declared as std::unordered_map/set in the
+//                   same file — event ordering and fair-share tie-breaks
+//                   must not depend on the stdlib's hash function.
+//   wall-clock      ambient time sources (system_clock, steady_clock,
+//                   time(), clock(), gettimeofday) — simulated time comes
+//                   from sim::Simulator::now().
+//   ambient-rng     ambient randomness (rand, srand, random_device,
+//                   mt19937, drand48) outside src/common/rng — all
+//                   stochastic behaviour flows from a seeded hero::Rng.
+//   float-equal     ==/!= against a floating-point literal — use an
+//                   epsilon or integer state instead.
+//   iostream        #include <iostream> in library code (src/) — library
+//                   targets log through common/log, never global streams.
+//   uninit-member   scalar/pointer data member without an initializer in
+//                   a struct/class body — aggregate instances inherit
+//                   indeterminate values.
+//
+// Suppressions: `// hero-lint: allow(rule-a, rule-b)` on the finding's
+// line or the line directly above; `// hero-lint: allow-file(rule)`
+// anywhere in the file suppresses the rule file-wide.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace herolint {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Per-file rule scoping derived from the path.
+struct FileContext {
+  bool library = false;     ///< under src/: library-only rules apply
+  bool rng_module = false;  ///< src/common/rng*: ambient-rng exempt
+};
+
+/// Classify a path by repo conventions ("src/" => library code).
+[[nodiscard]] FileContext classify_path(const std::string& path);
+
+/// Lint one source file. `path` is used for reporting only; scoping comes
+/// from `ctx`. Suppressed findings are dropped.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
+                                               const std::string& content,
+                                               const FileContext& ctx);
+
+/// Stable list of every rule id.
+[[nodiscard]] const std::vector<std::string>& rule_ids();
+
+/// Machine-readable report.
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+}  // namespace herolint
