@@ -87,7 +87,8 @@ BENCHMARK_CAPTURE(Fig10_Cell, DsSwitchMl, SystemKind::kDsSwitchMl)
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  (void)hero::bench::init(argc, argv,
+                          "bench_fig10_memory [--seed N] [google-benchmark flags]");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

@@ -80,7 +80,8 @@ BENCHMARK(Fig2_Heterogeneous)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  (void)hero::bench::init(argc, argv,
+                          "bench_fig2_hetero_ina [--seed N] [google-benchmark flags]");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

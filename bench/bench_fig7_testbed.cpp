@@ -40,12 +40,16 @@ const Scenario kSummarization{"summarization (cross-server TP8)",
 const Scenario kChatbotFree{"chatbot (free placement)",
                             wl::sharegpt_lengths(), 2.5, 0.15, 0.2, 8.0, 1};
 
+std::uint64_t g_seed = 17;
+bool g_seed_given = false;
+
 struct Cell {
   double max_rate = 0;
   double per_gpu = 0;
   double ttft_p90 = 0;
   double tpot_p90 = 0;
   std::size_t gpus = 0;
+  serve::ServingReport report;  ///< full report at the knee (JSON output)
 };
 
 Cell run_cell(SystemKind kind, const Scenario& scenario) {
@@ -54,7 +58,8 @@ Cell run_cell(SystemKind kind, const Scenario& scenario) {
   cfg.serving.model = llm::opt_66b();
   cfg.workload.count = 60;
   cfg.workload.lengths = scenario.lengths;
-  cfg.workload.seed = 17;
+  cfg.workload.seed = g_seed;
+  if (g_seed_given) cfg.serving.seed = g_seed;
   cfg.serving.sla_ttft = scenario.sla_ttft;
   cfg.serving.sla_tpot = scenario.sla_tpot;
   cfg.min_p_tens = scenario.min_p_tens;
@@ -67,6 +72,7 @@ Cell run_cell(SystemKind kind, const Scenario& scenario) {
   cell.per_gpu = cell.gpus ? search.max_rate / cell.gpus : 0.0;
   cell.ttft_p90 = search.at_max.report.ttft.p90();
   cell.tpot_p90 = search.at_max.report.tpot.p90();
+  cell.report = search.at_max.report;
   return cell;
 }
 
@@ -127,12 +133,35 @@ void print_scenario(const Scenario& scenario) {
   table.print();
 }
 
+void write_json() {
+  hero::bench::JsonReport json("fig7_testbed");
+  for (const Scenario* scenario :
+       {&kChatbot, &kSummarization, &kChatbotFree}) {
+    for (SystemKind kind : kAllSystems) {
+      const Cell& c =
+          g_cells[std::string(scenario->name) + "/" + to_string(kind)];
+      auto& row = json.add_row();
+      row.str("scenario", scenario->name)
+          .str("system", to_string(kind))
+          .num("max_rate_rps", c.max_rate)
+          .integer("gpus", c.gpus);
+      hero::bench::report_latency_fields(row, c.report);
+    }
+  }
+  json.write("BENCH_fig7.json");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  const hero::cli::Options opts = hero::bench::init(
+      argc, argv,
+      "bench_fig7_testbed [--seed N] [google-benchmark flags]");
+  g_seed = opts.seed_given ? opts.seed : 17;
+  g_seed_given = opts.seed_given;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  write_json();
   print_scenario(kChatbot);
   std::printf(
       "paper (chatbot): Hero 1.53x/1.42x/1.33x over "

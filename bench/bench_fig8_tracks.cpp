@@ -129,7 +129,8 @@ void print_setup(const TrackSetup& setup) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  (void)hero::bench::init(argc, argv,
+                          "bench_fig8_tracks [--seed N] [google-benchmark flags]");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_setup(kTwoTracks);

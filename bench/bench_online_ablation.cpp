@@ -159,7 +159,8 @@ BENCHMARK_CAPTURE(Ablate, frozen_policy, [] {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  (void)hero::bench::init(argc, argv,
+                          "bench_online_ablation [--seed N] [google-benchmark flags]");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   g_table.print();

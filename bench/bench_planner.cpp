@@ -122,7 +122,8 @@ BENCHMARK_CAPTURE(Planner_Perturb, rounds10, 10)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  (void)hero::bench::init(argc, argv,
+                          "bench_planner [--seed N] [google-benchmark flags]");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   g_scaling.print();

@@ -9,14 +9,98 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/cli.hpp"
+#include "common/format.hpp"
 #include "common/table.hpp"
 #include "core/heroserve.hpp"
 
 namespace hero::bench {
+
+/// Shared harness front door: strip the repo-wide flags (--seed, --faults,
+/// --trace, --help) from argv, then hand the remainder (--benchmark_filter
+/// etc.) to google-benchmark. Call first in every bench main.
+inline cli::Options init(int& argc, char** argv, const char* usage) {
+  cli::Options opts = cli::parse_args(argc, argv, usage);
+  benchmark::Initialize(&argc, argv);
+  return opts;
+}
+
+/// Machine-readable benchmark output (BENCH_<name>.json). Values are
+/// rendered with fixed formatting in insertion order, so identical runs
+/// produce byte-identical files — the determinism gate diffs them.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string benchmark)
+      : benchmark_(std::move(benchmark)) {}
+
+  class Row {
+   public:
+    Row& str(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, "\"" + value + "\"");
+      return *this;
+    }
+    Row& num(const std::string& key, double value) {
+      fields_.emplace_back(key, strfmt("{}", value));
+      return *this;
+    }
+    Row& integer(const std::string& key, std::uint64_t value) {
+      fields_.emplace_back(key, strfmt("{}", value));
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Row& add_row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Write `{"benchmark": ..., "cells": [...]}`; returns false on I/O error.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"cells\": [",
+                 benchmark_.c_str());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n    {", r == 0 ? "" : ",");
+      const auto& fields = rows_[r].fields_;
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     fields[i].first.c_str(), fields[i].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %zu cells -> %s\n", rows_.size(), path.c_str());
+    return true;
+  }
+
+ private:
+  std::string benchmark_;
+  std::vector<Row> rows_;
+};
+
+/// The latency/goodput fields every serving bench reports per cell.
+inline void report_latency_fields(JsonReport::Row& row,
+                                  const serve::ServingReport& report) {
+  row.num("goodput_rps", report.requests_per_second)
+      .num("per_gpu_goodput", report.per_gpu_goodput)
+      .num("sla_attainment", report.sla_attainment)
+      .num("ttft_p50_s", report.ttft.median())
+      .num("ttft_p99_s", report.ttft.p99())
+      .num("tpot_p50_s", report.tpot.median())
+      .num("tpot_p99_s", report.tpot.p99());
+}
 
 /// Ordered collector for figure rows; printed after RunSpecifiedBenchmarks.
 class FigureTable {

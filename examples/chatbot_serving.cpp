@@ -6,27 +6,35 @@
 // then the per-GPU goodput at the 90% knee — the paper's scalability
 // metric.
 //
-//   ./build/examples/chatbot_serving [requests]
+//   ./build/examples/chatbot_serving [requests] [--seed N]
+//                                    [--faults plan.json]
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/heroserve.hpp"
 
 using namespace hero;
 
 int main(int argc, char** argv) {
-  const std::size_t requests =
-      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 100;
+  const cli::Options opts = cli::parse_args(
+      argc, argv, "chatbot_serving [requests] [--seed N] [--faults plan.json]");
+  const std::size_t requests = cli::positional_size(opts, 0, 100);
 
   ExperimentConfig cfg;
   cfg.topology = topo::make_testbed();
   cfg.serving.model = llm::opt_66b();
   cfg.workload.count = requests;
   cfg.workload.lengths = wl::sharegpt_lengths();
-  cfg.workload.seed = 17;
+  cfg.workload.seed = opts.seed_given ? opts.seed : 17;
+  if (opts.seed_given) cfg.serving.seed = opts.seed;
   cfg.serving.sla_ttft = 2.5;
   cfg.serving.sla_tpot = 0.15;
+  if (!opts.faults_path.empty()) {
+    cfg.fault_plan = faults::load_fault_plan(opts.faults_path);
+    std::printf("loaded fault plan %s (%zu events)\n",
+                opts.faults_path.c_str(), cfg.fault_plan.events.size());
+  }
 
   std::printf(
       "Chatbot scenario: OPT-66B, ShareGPT-like lengths, SLA 2.5s TTFT / "

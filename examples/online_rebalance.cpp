@@ -7,17 +7,25 @@
 // policy cost table each interval and which policy the scheduler selects —
 // showing the Eq. 16 selection and Eq. 17/18 cost propagation at work.
 //
-//   ./build/examples/online_rebalance
+//   ./build/examples/online_rebalance [--seed N] [--faults plan.json]
+//
+// The link failure is injected through the faults subsystem: without
+// --faults a built-in plan degrades the w0g0->sw0 uplink to 10% at
+// t = 0.4 s; pass your own plan to script different chaos.
 #include <cstdio>
 
 #include "collectives/engine.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
+#include "faults/injector.hpp"
 #include "online/scheduler.hpp"
 #include "topology/builders.hpp"
 
 using namespace hero;
 
-int main() {
+int main(int argc, char** argv) {
+  const cli::Options cli_opts = cli::parse_args(
+      argc, argv, "online_rebalance [--seed N] [--faults plan.json]");
   const topo::Graph graph = topo::make_testbed();
   sim::Simulator simulator;
   net::FlowNetwork network(simulator, graph);
@@ -63,18 +71,28 @@ int main() {
     network.start_transfer(*path, 2.0 * units::GB, std::move(opts));
   });
 
-  // t = 0.4 s: the leader uplink w0g0 -> sw0 degrades to 10%.
-  simulator.schedule(0.4, [&] {
-    std::printf("\n[t=0.40s] uplink w0g0->sw0 degrades to 10%% capacity\n");
-    for (topo::EdgeId e = 0; e < graph.edge_count(); ++e) {
-      const topo::Edge& edge = graph.edge(e);
-      if (edge.kind == topo::LinkKind::kEthernet &&
-          ((edge.a == graph.find("w0g0") && edge.b == graph.find("sw0")) ||
-           (edge.b == graph.find("w0g0") && edge.a == graph.find("sw0")))) {
-        network.set_link_degradation(e, 0.1);
-      }
-    }
-  });
+  // t = 0.4 s: the leader uplink w0g0 -> sw0 degrades to 10%, via the
+  // fault injector (with the online scheduler hooked up so cost overrides
+  // land immediately instead of at the next controller tick).
+  faults::FaultPlan fault_plan;
+  if (!cli_opts.faults_path.empty()) {
+    fault_plan = faults::load_fault_plan(cli_opts.faults_path);
+    std::printf("loaded fault plan %s (%zu events)\n",
+                cli_opts.faults_path.c_str(), fault_plan.events.size());
+  } else {
+    faults::FaultEvent degrade;
+    degrade.kind = faults::FaultKind::kLinkDegrade;
+    degrade.at = 0.4;
+    degrade.target = "w0g0-sw0";
+    degrade.magnitude = 0.1;
+    fault_plan.events.push_back(degrade);
+  }
+  faults::FaultInjector::Hooks hooks;
+  hooks.switches = &switches;
+  hooks.online = &scheduler.online();
+  scheduler.online().attach_switches(&switches);
+  faults::FaultInjector injector(network, fault_plan, hooks);
+  injector.arm();
 
   // Periodic report of the policy cost table.
   std::function<void()> report = [&] {
@@ -92,7 +110,10 @@ int main() {
   simulator.schedule(0.05, report);
 
   simulator.run_until(0.7);
-  std::printf("\ncompleted %llu all-reduce ops in 0.6 s of simulated time\n",
-              static_cast<unsigned long long>(ops));
+  std::printf("\ncompleted %llu all-reduce ops in 0.6 s of simulated time "
+              "(%llu faults injected, %llu recovered)\n",
+              static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(injector.injected()),
+              static_cast<unsigned long long>(injector.recovered()));
   return 0;
 }

@@ -4,11 +4,12 @@
 // switches, and the latency/throughput estimates behind the choice.
 //
 //   ./build/examples/planner_explorer [testbed|tracks] [rate] [model]
+//                                     [--seed N]
 //     model: 66b (default) | 175b | 13b
 #include <cstdio>
-#include <cstring>
 #include <string>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/heroserve.hpp"
 
@@ -43,19 +44,22 @@ void dump_cluster(const char* name, const planner::ClusterPlan& cluster,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string topo_name = argc > 1 ? argv[1] : "testbed";
-  const double rate = argc > 2 ? std::atof(argv[2]) : 1.5;
-  const std::string model_name = argc > 3 ? argv[3] : "66b";
+  const cli::Options opts = cli::parse_args(
+      argc, argv,
+      "planner_explorer [testbed|tracks] [rate] [66b|175b|13b] [--seed N]");
+  const std::string topo_name = cli::positional_str(opts, 0, "testbed");
+  const double rate = cli::positional_double(opts, 1, 1.5);
+  const std::string model_name = cli::positional_str(opts, 2, "66b");
 
   topo::Graph graph;
   if (topo_name == "tracks") {
-    topo::TracksOptions opts;
-    opts.servers = 12;
-    opts.tracks = 2;
-    opts.servers_per_pod = 6;
-    opts.core_switches = 3;
-    opts.gpus_per_server = 4;
-    graph = topo::make_tracks_cluster(opts);
+    topo::TracksOptions topts;
+    topts.servers = 12;
+    topts.tracks = 2;
+    topts.servers_per_pod = 6;
+    topts.core_switches = 3;
+    topts.gpus_per_server = 4;
+    graph = topo::make_tracks_cluster(topts);
   } else {
     graph = topo::make_testbed();
   }
@@ -80,6 +84,7 @@ int main(int argc, char** argv) {
     in.t_sla_prefill = 2.5;
     in.t_sla_decode = 0.15;
     in.heterogeneous = heterogeneous;
+    if (opts.seed_given) in.seed = opts.seed;
 
     planner::OfflinePlanner planner(in);
     const planner::PlanResult plan = planner.plan();

@@ -6,51 +6,31 @@
 // printing TTFT/TPOT/SLA-attainment for each.
 //
 //   ./build/examples/quickstart [rate] [requests] [--seed N]
-//                               [--trace out.json]
+//                               [--trace out.json] [--faults plan.json]
 //
 // With --trace, the HeroServe run records a Chrome trace (open in
 // chrome://tracing or https://ui.perfetto.dev): request lifecycles,
 // prefill/decode spans, KV transfers, every collective with its chosen
-// policy and Eq. 16 cost, and controller ticks.
-#include <cstdint>
+// policy and Eq. 16 cost, and controller ticks. With --faults, the JSON
+// fault plan is replayed against every system's run (chaos comparison).
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
-#include <vector>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/heroserve.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace hero;
-  const char* trace_path = nullptr;
-  std::uint64_t seed = 1;
-  std::vector<const char*> positional;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0 ||
-        std::strcmp(argv[i], "--seed") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "usage: quickstart [rate] [requests] "
-                             "[--seed N] [--trace out.json]\n");
-        return 1;
-      }
-      if (std::strcmp(argv[i], "--trace") == 0) {
-        trace_path = argv[++i];
-      } else {
-        seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-      }
-    } else {
-      positional.push_back(argv[i]);
-    }
-  }
-  const double rate = !positional.empty() ? std::atof(positional[0]) : 2.0;
-  const std::size_t requests =
-      positional.size() > 1
-          ? static_cast<std::size_t>(std::atoll(positional[1]))
-          : 80;
+  const cli::Options opts = cli::parse_args(
+      argc, argv,
+      "quickstart [rate] [requests] [--seed N] [--trace out.json] "
+      "[--faults plan.json]");
+  const double rate = cli::positional_double(opts, 0, 2.0);
+  const std::size_t requests = cli::positional_size(opts, 1, 80);
 
   ExperimentConfig cfg;
   cfg.topology = topo::make_testbed();
@@ -58,14 +38,19 @@ int main(int argc, char** argv) {
   cfg.workload.rate = rate;
   cfg.workload.count = requests;
   cfg.workload.lengths = wl::sharegpt_lengths();
-  cfg.workload.seed = seed;
-  cfg.serving.seed = seed;
+  cfg.workload.seed = opts.seed;
+  cfg.serving.seed = opts.seed;
   cfg.serving.sla_ttft = 2.5;  // chatbot SLA (SV)
   cfg.serving.sla_tpot = 0.15;
+  if (!opts.faults_path.empty()) {
+    cfg.fault_plan = faults::load_fault_plan(opts.faults_path);
+    std::printf("loaded fault plan %s (%zu events)\n",
+                opts.faults_path.c_str(), cfg.fault_plan.events.size());
+  }
 
   std::printf("HeroServe quickstart: OPT-66B chatbot on the Fig. 6 testbed\n");
   std::printf("rate = %.2f req/s, %zu requests, seed = %llu\n\n", rate,
-              requests, static_cast<unsigned long long>(seed));
+              requests, static_cast<unsigned long long>(opts.seed));
 
   obs::EventTracer tracer;
   obs::MetricsRegistry metrics;
@@ -75,9 +60,9 @@ int main(int argc, char** argv) {
   for (SystemKind kind : kAllSystems) {
     // Trace the HeroServe run only: each system gets its own simulator
     // timeline, and overlaying four timelines in one file is unreadable.
-    const bool traced = trace_path && kind == SystemKind::kHeroServe;
-    cfg.tracer = traced ? &tracer : nullptr;
-    cfg.metrics = traced ? &metrics : nullptr;
+    const bool traced =
+        !opts.trace_path.empty() && kind == SystemKind::kHeroServe;
+    cfg.sink = traced ? obs::Sink(&tracer, &metrics) : obs::Sink();
     const ExperimentResult r = run_experiment(kind, cfg);
     if (!r.ok()) {
       table.add_row({to_string(kind), "infeasible: " +
@@ -107,10 +92,10 @@ int main(int argc, char** argv) {
   }
   table.print();
 
-  if (trace_path) {
-    if (tracer.write_chrome_trace_file(trace_path)) {
+  if (!opts.trace_path.empty()) {
+    if (tracer.write_chrome_trace_file(opts.trace_path.c_str())) {
       std::printf("\nwrote %zu trace events -> %s (load in ui.perfetto.dev)\n",
-                  tracer.event_count(), trace_path);
+                  tracer.event_count(), opts.trace_path.c_str());
     }
     std::printf("%s", metrics.snapshot(0.0).to_string().c_str());
   }

@@ -6,19 +6,23 @@
 // cannot keep tensor-parallel groups inside one NVLink domain, so the
 // communication scheduling differences between the four systems surface.
 //
-//   ./build/examples/summarization_serving [rate] [requests]
+//   ./build/examples/summarization_serving [rate] [requests] [--seed N]
+//                                          [--faults plan.json]
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/heroserve.hpp"
 
 using namespace hero;
 
 int main(int argc, char** argv) {
-  const double rate = argc > 1 ? std::atof(argv[1]) : 0.4;
-  const std::size_t requests =
-      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 60;
+  const cli::Options opts = cli::parse_args(
+      argc, argv,
+      "summarization_serving [rate] [requests] [--seed N] "
+      "[--faults plan.json]");
+  const double rate = cli::positional_double(opts, 0, 0.4);
+  const std::size_t requests = cli::positional_size(opts, 1, 60);
 
   topo::TracksOptions topts;
   topts.servers = 18;
@@ -38,9 +42,15 @@ int main(int argc, char** argv) {
   cfg.workload.rate = rate;
   cfg.workload.count = requests;
   cfg.workload.lengths = wl::longbench_lengths();
-  cfg.workload.seed = 29;
+  cfg.workload.seed = opts.seed_given ? opts.seed : 29;
+  if (opts.seed_given) cfg.serving.seed = opts.seed;
   cfg.serving.sla_ttft = 25.0;
   cfg.serving.sla_tpot = 0.2;
+  if (!opts.faults_path.empty()) {
+    cfg.fault_plan = faults::load_fault_plan(opts.faults_path);
+    std::printf("loaded fault plan %s (%zu events)\n",
+                opts.faults_path.c_str(), cfg.fault_plan.events.size());
+  }
 
   std::printf(
       "Summarization scenario: OPT-175B on a 2tracks cluster (18 x 4-GPU "

@@ -1,21 +1,23 @@
 // Trace replay: serve a recorded request trace from a CSV file, the way
 // the paper's traffic host replays ShareGPT/LongBench captures.
 //
-//   ./build/examples/trace_replay [trace.csv] [rate] [--trace out.json]
+//   ./build/examples/trace_replay [trace.csv] [rate] [--seed N]
+//                                 [--trace out.json] [--faults plan.json]
 //
 // Without positional arguments, generates a demo trace, saves it next to
 // the binary, and replays it at two rates — demonstrating the capture ->
 // rescale -> replay loop (workload/trace_io.hpp). With --trace, the first
 // replay records a Chrome trace_event JSON viewable in chrome://tracing or
-// https://ui.perfetto.dev.
+// https://ui.perfetto.dev. With --faults, the plan is replayed against the
+// first serve (faults/fault_plan.hpp).
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <vector>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/heroserve.hpp"
+#include "faults/injector.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "obs/trace.hpp"
 #include "workload/trace_io.hpp"
 
@@ -23,8 +25,8 @@ using namespace hero;
 
 namespace {
 
-void serve_trace(const wl::Trace& trace, const char* label,
-                 obs::EventTracer* tracer, obs::MetricsRegistry* metrics) {
+void serve_trace(const wl::Trace& trace, const char* label, obs::Sink sink,
+                 const faults::FaultPlan* fault_plan = nullptr) {
   // run_experiment generates its own trace from TraceOptions; for replay we
   // drive the pieces directly.
   ExperimentConfig cfg;
@@ -57,8 +59,7 @@ void serve_trace(const wl::Trace& trace, const char* label,
   }
 
   sim::Simulator simulator;
-  simulator.attach_tracer(tracer);
-  simulator.attach_metrics(metrics);
+  simulator.attach(sink);
   net::FlowNetwork network(simulator, cfg.topology);
   sw::SwitchRegistry switches(simulator, cfg.topology);
   coll::CollectiveEngine engine(network, switches);
@@ -67,6 +68,20 @@ void serve_trace(const wl::Trace& trace, const char* label,
   serve::ServingOptions serving = cfg.serving;
   serving.max_sim_time =
       3600.0 + (trace.empty() ? 0.0 : trace.back().arrival);
+
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (fault_plan != nullptr && !fault_plan->empty()) {
+    faults::FaultInjector::Hooks hooks;
+    hooks.switches = &switches;
+    hooks.online = &scheduler.online();
+    scheduler.online().attach_switches(&switches);
+    injector =
+        std::make_unique<faults::FaultInjector>(network, *fault_plan, hooks);
+    serving.compute_scale = [inj = injector.get()](topo::NodeId g) {
+      return inj->compute_scale(g);
+    };
+    injector->arm();
+  }
   serve::ClusterSim cluster(network, engine, scheduler, plan, serving);
   scheduler.start();
   const serve::ServingReport report = cluster.run(trace);
@@ -91,54 +106,55 @@ void serve_trace(const wl::Trace& trace, const char* label,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* trace_path = nullptr;
-  std::vector<const char*> positional;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "usage: trace_replay [trace.csv] [rate] "
-                             "[--trace out.json]\n");
-        return 1;
-      }
-      trace_path = argv[++i];
-    } else {
-      positional.push_back(argv[i]);
-    }
-  }
+  const cli::Options opts = cli::parse_args(
+      argc, argv,
+      "trace_replay [trace.csv] [rate] [--seed N] [--trace out.json] "
+      "[--faults plan.json]");
 
   wl::Trace trace;
-  if (!positional.empty()) {
-    trace = wl::load_trace_csv(positional[0]);
+  if (!opts.positional.empty()) {
+    trace = wl::load_trace_csv(opts.positional[0].c_str());
     std::printf("loaded %zu requests from %s\n", trace.size(),
-                positional[0]);
+                opts.positional[0].c_str());
   } else {
-    wl::TraceOptions opts;
-    opts.rate = 1.0;
-    opts.count = 60;
-    opts.lengths = wl::sharegpt_lengths();
-    trace = wl::generate_trace(opts);
+    wl::TraceOptions gen;
+    gen.rate = 1.0;
+    gen.count = 60;
+    gen.lengths = wl::sharegpt_lengths();
+    gen.seed = opts.seed;
+    trace = wl::generate_trace(gen);
     wl::save_trace_csv("demo_trace.csv", trace);
     std::printf("generated demo trace -> demo_trace.csv (%zu requests)\n",
                 trace.size());
   }
 
-  if (positional.size() > 1) {
-    trace = wl::rescale_rate(std::move(trace), std::atof(positional[1]));
+  if (opts.positional.size() > 1) {
+    trace = wl::rescale_rate(std::move(trace),
+                             cli::positional_double(opts, 1, 1.0));
+  }
+
+  faults::FaultPlan fault_plan;
+  if (!opts.faults_path.empty()) {
+    fault_plan = faults::load_fault_plan(opts.faults_path);
+    std::printf("loaded fault plan %s (%zu events)\n",
+                opts.faults_path.c_str(), fault_plan.events.size());
   }
 
   // Record the first replay only: each replay runs on a fresh simulator
   // whose clock restarts at zero, so a shared trace file would interleave.
   obs::EventTracer tracer;
   obs::MetricsRegistry metrics;
-  serve_trace(trace, "as recorded", trace_path ? &tracer : nullptr,
-              trace_path ? &metrics : nullptr);
-  if (trace_path) {
-    if (tracer.write_chrome_trace_file(trace_path)) {
+  serve_trace(trace, "as recorded",
+              opts.trace_path.empty() ? obs::Sink()
+                                      : obs::Sink(&tracer, &metrics),
+              &fault_plan);
+  if (!opts.trace_path.empty()) {
+    if (tracer.write_chrome_trace_file(opts.trace_path.c_str())) {
       std::printf("wrote %zu trace events -> %s (load in ui.perfetto.dev)\n",
-                  tracer.event_count(), trace_path);
+                  tracer.event_count(), opts.trace_path.c_str());
     }
   }
   serve_trace(wl::rescale_rate(trace, wl::summarize(trace).mean_rate * 2.0),
-              "replayed at 2x rate", nullptr, nullptr);
+              "replayed at 2x rate", obs::Sink());
   return 0;
 }

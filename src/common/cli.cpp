@@ -1,0 +1,64 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hero::cli {
+namespace {
+
+[[noreturn]] void usage_error(const char* usage, const char* flag) {
+  std::fprintf(stderr, "missing value for %s\nusage: %s\n", flag, usage);
+  std::exit(1);
+}
+
+}  // namespace
+
+Options parse_args(int& argc, char** argv, const char* usage) {
+  Options opts;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) usage_error(usage, flag);
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      std::printf("usage: %s\n", usage);
+      std::exit(0);
+    } else if (std::strcmp(a, "--seed") == 0) {
+      opts.seed = static_cast<std::uint64_t>(std::atoll(value("--seed")));
+      opts.seed_given = true;
+    } else if (std::strcmp(a, "--faults") == 0) {
+      opts.faults_path = value("--faults");
+    } else if (std::strcmp(a, "--trace") == 0) {
+      opts.trace_path = value("--trace");
+    } else {
+      if (a[0] != '-') opts.positional.emplace_back(a);
+      argv[out++] = argv[i];  // pass through (benchmark flags, positionals)
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return opts;
+}
+
+double positional_double(const Options& opts, std::size_t i,
+                         double fallback) {
+  if (i >= opts.positional.size()) return fallback;
+  return std::atof(opts.positional[i].c_str());
+}
+
+std::size_t positional_size(const Options& opts, std::size_t i,
+                            std::size_t fallback) {
+  if (i >= opts.positional.size()) return fallback;
+  return static_cast<std::size_t>(std::atoll(opts.positional[i].c_str()));
+}
+
+std::string positional_str(const Options& opts, std::size_t i,
+                           std::string fallback) {
+  if (i >= opts.positional.size()) return fallback;
+  return opts.positional[i];
+}
+
+}  // namespace hero::cli

@@ -1,0 +1,43 @@
+// Shared command-line parsing for the example and benchmark binaries.
+//
+// Every per-binary main used to hand-roll the same argv loop; this parser
+// owns the flags they all share —
+//   --seed N           deterministic run seed
+//   --faults plan.json fault-injection plan (see faults/fault_plan.hpp)
+//   --trace out.json   Chrome trace output path
+//   --help             print the binary's usage string and exit 0
+// — plus positional argument collection. Recognized flags are *removed*
+// from argv (argc is updated) so harnesses can hand the remainder to
+// google-benchmark's Initialize() untouched; unrecognized flags (e.g.
+// --benchmark_filter) pass through.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hero::cli {
+
+struct Options {
+  std::uint64_t seed = 1;
+  bool seed_given = false;     ///< --seed appeared (callers keep their own
+                               ///< default otherwise)
+  std::string faults_path;     ///< empty = no fault plan requested
+  std::string trace_path;      ///< empty = no trace requested
+  std::vector<std::string> positional;
+};
+
+/// Parse and strip the shared flags from argv. On --help prints `usage`
+/// and exits 0; on a flag missing its value prints `usage` to stderr and
+/// exits 1.
+[[nodiscard]] Options parse_args(int& argc, char** argv, const char* usage);
+
+/// Positional accessors with defaults (index past the end -> fallback).
+[[nodiscard]] double positional_double(const Options& opts, std::size_t i,
+                                       double fallback);
+[[nodiscard]] std::size_t positional_size(const Options& opts, std::size_t i,
+                                          std::size_t fallback);
+[[nodiscard]] std::string positional_str(const Options& opts, std::size_t i,
+                                         std::string fallback = {});
+
+}  // namespace hero::cli

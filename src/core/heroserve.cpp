@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/log.hpp"
+#include "faults/injector.hpp"
 
 namespace hero {
 
@@ -76,19 +77,21 @@ ExperimentResult run_experiment(SystemKind kind,
 
   // Deploy and serve.
   sim::Simulator simulator;
-  simulator.attach_tracer(cfg.tracer);
-  simulator.attach_metrics(cfg.metrics);
+  simulator.attach(cfg.sink);
   net::FlowNetwork network(simulator, cfg.topology);
   sw::SwitchRegistry switches(simulator, cfg.topology);
   coll::CollectiveEngine engine(network, switches, cfg.engine);
 
   std::unique_ptr<coll::CommScheduler> scheduler;
+  online::HeroCommScheduler* hero = nullptr;
   switch (kind) {
     case SystemKind::kHeroServe: {
       online::PolicyBuildOptions build;
       build.heterogeneous = true;
-      scheduler = std::make_unique<online::HeroCommScheduler>(
+      auto owned = std::make_unique<online::HeroCommScheduler>(
           network, cfg.online, build);
+      hero = owned.get();
+      scheduler = std::move(owned);
       break;
     }
     case SystemKind::kDistServe:
@@ -110,6 +113,26 @@ ExperimentResult run_experiment(SystemKind kind,
   // rates the arrival horizon itself can exceed any fixed wall.
   serving.max_sim_time =
       cfg.serving.max_sim_time + (trace.empty() ? 0.0 : trace.back().arrival);
+
+  // Chaos wiring (fault plan present only). HeroServe's online scheduler
+  // gets the reaction hooks — switch slot-health feedback at controller
+  // ticks, immediate cost overrides on link faults; baselines feel the raw
+  // faults without any adaptation channel.
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (!cfg.fault_plan.empty()) {
+    faults::FaultInjector::Hooks hooks;
+    hooks.switches = &switches;
+    if (hero != nullptr) {
+      hooks.online = &hero->online();
+      hero->online().attach_switches(&switches);
+    }
+    injector = std::make_unique<faults::FaultInjector>(
+        network, cfg.fault_plan, hooks);
+    serving.compute_scale = [inj = injector.get()](topo::NodeId g) {
+      return inj->compute_scale(g);
+    };
+    injector->arm();
+  }
 
   serve::ClusterSim cluster(network, engine, *scheduler, result.plan,
                             serving);

@@ -14,16 +14,13 @@
 #include <vector>
 
 #include "baselines/static_scheduler.hpp"
+#include "faults/fault_plan.hpp"
+#include "obs/sink.hpp"
 #include "online/scheduler.hpp"
 #include "planner/planner.hpp"
 #include "serving/cluster_sim.hpp"
 #include "topology/builders.hpp"
 #include "workload/trace.hpp"
-
-namespace hero::obs {
-class EventTracer;
-class MetricsRegistry;
-}  // namespace hero::obs
 
 namespace hero {
 
@@ -64,10 +61,16 @@ struct ExperimentConfig {
   online::OnlineConfig online;  ///< HeroServe's scheduler knobs
   coll::EngineConfig engine;    ///< T_agg, fallback host bandwidth
 
-  /// Optional observability sinks, attached to the run's simulator for the
-  /// whole plan->deploy->serve pipeline. Null = tracing off (zero cost).
-  obs::EventTracer* tracer = nullptr;
-  obs::MetricsRegistry* metrics = nullptr;
+  /// Observability sink, attached to the run's simulator for the whole
+  /// plan->deploy->serve pipeline. Default-constructed = tracing off (zero
+  /// cost).
+  obs::Sink sink;
+
+  /// Chaos schedule replayed against the run (empty = no fault injection,
+  /// byte-identical to a plain run). HeroServe additionally gets switch
+  /// slot-health feedback and immediate cost overrides wired into its
+  /// online scheduler; baselines only feel the raw faults.
+  faults::FaultPlan fault_plan;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,77 @@
+// Declarative fault plans for chaos experiments.
+//
+// A FaultPlan is a deterministic schedule of infrastructure faults — link
+// degradation/flapping, switch slot-pool exhaustion and restarts, GPU
+// stragglers, controller sync-channel loss — that the FaultInjector replays
+// against a running simulation. Plans are plain data: build them in code
+// (benchmarks, tests) or load them from a small JSON file (`--faults
+// plan.json` on every example/bench binary). The same plan + the same seed
+// reproduces the same run byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hero::faults {
+
+enum class FaultKind : std::uint8_t {
+  /// Scale `target` edge capacity by `magnitude` (factor in (0,1]) at `at`,
+  /// restore to 1.0 after `duration`.
+  kLinkDegrade,
+  /// `count` degrade/restore cycles starting at `at`, one cycle every
+  /// `period`; each cycle degrades for `duration` (default period/2).
+  kLinkFlap,
+  /// Seize `magnitude` aggregator slots on switch `target` (capped at the
+  /// free pool) for `duration` — models tenant jobs hogging the pool.
+  kSlotExhaust,
+  /// Control-plane restart of switch `target`: queue a whole-pool
+  /// reservation so the pool drains, then hold every slot for `duration`.
+  kSwitchRestart,
+  /// Multiply compute time of GPU `target` by `magnitude` (>= 1) for
+  /// `duration` — thermal throttling / noisy neighbour.
+  kGpuSlow,
+  /// Delay each controller sync's table recalibration by `magnitude`
+  /// seconds for `duration`.
+  kSyncDelay,
+  /// Sever the controller sync channel for `duration`; the scheduler
+  /// retries with exponential backoff and serves from stale costs.
+  kSyncDrop,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkDegrade;
+  Time at = 0.0;        ///< injection time (simulated seconds)
+  Time duration = 0.0;  ///< time until recovery (0 = permanent)
+  /// Edge "nodeA-nodeB" (link faults) or node name (switch/GPU faults);
+  /// unused for sync faults.
+  std::string target;
+  /// Kind-dependent: capacity factor (link), slot count (slot exhaust),
+  /// compute multiplier (GPU), extra delay seconds (sync delay).
+  double magnitude = 1.0;
+  std::uint32_t count = 1;  ///< flap cycles (kLinkFlap only)
+  Time period = 0.0;        ///< flap cycle length (kLinkFlap only)
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  [[nodiscard]] bool empty() const { return events.empty(); }
+};
+
+/// Parse a plan from JSON text. Schema:
+///   {"events": [{"kind": "link_flap", "at": 0.2, "duration": 0.025,
+///                "period": 0.05, "count": 6, "target": "w0g1-sw1",
+///                "magnitude": 0.05}, ...]}
+/// Unknown keys are rejected; kinds are the snake_case enum names. Throws
+/// std::runtime_error with a position on malformed input.
+[[nodiscard]] FaultPlan parse_fault_plan(std::string_view json);
+
+/// Read + parse a JSON plan file (throws on I/O or parse error).
+[[nodiscard]] FaultPlan load_fault_plan(const std::string& path);
+
+}  // namespace hero::faults

@@ -97,6 +97,10 @@ class FlowNetwork {
   /// Scale the usable capacity of an edge (both directions); factor in
   /// (0, 1]. Rates are recomputed immediately.
   void set_link_degradation(topo::EdgeId edge, double factor);
+  /// Current degradation factor of an edge (1.0 = healthy).
+  [[nodiscard]] double link_degradation(topo::EdgeId edge) const {
+    return degradation_.at(edge);
+  }
 
   [[nodiscard]] const topo::Graph& graph() const { return *graph_; }
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }

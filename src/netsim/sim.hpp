@@ -14,11 +14,7 @@
 #include <vector>
 
 #include "common/units.hpp"
-
-namespace hero::obs {
-class EventTracer;
-class MetricsRegistry;
-}  // namespace hero::obs
+#include "obs/sink.hpp"
 
 namespace hero::sim {
 
@@ -52,13 +48,15 @@ class Simulator {
   // --- observability ---
   //
   // Everything simulated hangs off one Simulator, so the simulator is where
-  // the observability sinks attach. Both default to null ("tracing off");
-  // instrumented subsystems test the pointer before recording, which keeps
-  // the disabled path free of work.
-  void attach_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
-  void attach_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
-  [[nodiscard]] obs::EventTracer* tracer() const { return tracer_; }
-  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+  // the observability sink attaches. The default Sink is the null object
+  // ("tracing off"); instrumented subsystems test tracer()/metrics() before
+  // recording, which keeps the disabled path free of work.
+  void attach(obs::Sink sink) { sink_ = sink; }
+  [[nodiscard]] const obs::Sink& sink() const { return sink_; }
+  [[nodiscard]] obs::EventTracer* tracer() const { return sink_.tracer(); }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const {
+    return sink_.metrics();
+  }
 
  private:
   struct Event {
@@ -74,8 +72,7 @@ class Simulator {
   };
 
   Time now_ = 0.0;
-  obs::EventTracer* tracer_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Sink sink_;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;

@@ -1,0 +1,42 @@
+// Value-semantic observability handle.
+//
+// A Sink bundles the (tracer, metrics) pair that used to be threaded
+// through the stack as two raw null-default pointers. It is a null object
+// by default — "tracing off" — and cheap to copy, so subsystems take and
+// store a Sink by value instead of a pointer pair. Instrumented code still
+// pays only one pointer test on the disabled path:
+//
+//   if (obs::EventTracer* tr = sink.tracer()) { ... }
+//
+// The Sink does not own the tracer/registry; the experiment driver keeps
+// them alive for the duration of the run, as before.
+#pragma once
+
+namespace hero::obs {
+
+class EventTracer;
+class MetricsRegistry;
+
+class Sink {
+ public:
+  /// Null sink: observability off.
+  Sink() = default;
+  /// Either pointer may be null to enable only one backend.
+  Sink(EventTracer* tracer, MetricsRegistry* metrics)
+      : tracer_(tracer), metrics_(metrics) {}
+
+  [[nodiscard]] EventTracer* tracer() const { return tracer_; }
+  [[nodiscard]] MetricsRegistry* metrics() const { return metrics_; }
+
+  /// True when any backend is attached.
+  [[nodiscard]] bool enabled() const {
+    return tracer_ != nullptr || metrics_ != nullptr;
+  }
+  explicit operator bool() const { return enabled(); }
+
+ private:
+  EventTracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace hero::obs

@@ -1,6 +1,7 @@
 #include "online/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/check.hpp"
@@ -113,16 +114,97 @@ void OnlineScheduler::start() {
   controller_tick();
 }
 
-void OnlineScheduler::controller_tick() {
+void OnlineScheduler::run_sync() {
   // "It periodically polls hardware counters from the data plane to obtain
   //  link utilization metrics. These statistics are then used to update the
   //  cost parameters in the online scheduling process." (SIV)
-  for (auto& table : tables_) {
-    table->sync_costs_from_network(*network_);
-    table->update_penalties(network_, config_);
+  for (GroupId g = 0; g < tables_.size(); ++g) {
+    tables_[g]->sync_costs_from_network(*network_);
+    tables_[g]->update_penalties(network_, config_);
+    if (switches_ != nullptr) apply_switch_health(g);
+  }
+}
+
+void OnlineScheduler::apply_switch_health(GroupId group) {
+  // Slot-pool feedback: an INA policy whose switch cannot admit another job
+  // (pool full, or jobs already queued behind it) is surcharged so Eq. 16
+  // steers traffic to ring until the pool frees up — the scheduler-level
+  // INA -> ring fallback, distinct from the engine's per-op ATP fallback.
+  PolicyTable& table = *tables_.at(group);
+  if (ina_avoided_.size() <= group) ina_avoided_.resize(group + 1);
+  std::vector<bool>& avoided = ina_avoided_[group];
+  avoided.resize(table.size(), false);
+  sim::Simulator& s = network_->simulator();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    Policy& p = table.policy(i);
+    if (p.plan.switch_node == topo::kInvalidNode) continue;
+    const sw::SwitchAgent& agent = switches_->agent(p.plan.switch_node);
+    const bool starved = agent.slots_in_use() >= agent.slots_total() ||
+                         agent.queue_depth() > 0;
+    if (starved) p.cost += config_.ina_unavailable_penalty;
+    if (starved != avoided[i]) {
+      avoided[i] = starved;
+      if (obs::EventTracer* tr = s.tracer()) {
+        tr->instant(s.now(), tr->track("scheduler"), "scheduler",
+                    starved ? "ina_avoid" : "ina_resume",
+                    {obs::arg("group", names_.at(group)),
+                     obs::arg("policy", p.name),
+                     obs::arg("switch",
+                              network_->graph().node(p.plan.switch_node).name),
+                     obs::arg("slots_in_use",
+                              static_cast<std::uint64_t>(agent.slots_in_use())),
+                     obs::arg("queued",
+                              static_cast<std::uint64_t>(agent.queue_depth()))});
+      }
+      if (obs::MetricsRegistry* m = s.metrics()) {
+        m->counter(starved ? "online.ina_avoided" : "online.ina_resumed")
+            .add(1);
+      }
+    }
+  }
+}
+
+void OnlineScheduler::controller_tick() {
+  sim::Simulator& s = network_->simulator();
+  if (sync_dropped_) {
+    // Sync channel down: the poll times out, tables stay stale, and the
+    // controller retries with exponential backoff instead of hammering a
+    // dead channel at the nominal period.
+    ++missed_syncs_;
+    sync_backoff_ = std::min(sync_backoff_ + 1, config_.max_sync_backoff);
+    const Time retry_in =
+        config_.sync_period * static_cast<double>(1u << sync_backoff_);
+    if (obs::EventTracer* tr = s.tracer()) {
+      tr->instant(s.now(), tr->track("controller"), "controller",
+                  "sync_lost",
+                  {obs::arg("missed", missed_syncs_),
+                   obs::arg("backoff", static_cast<std::uint64_t>(sync_backoff_)),
+                   obs::arg("retry_in", retry_in)});
+    }
+    if (obs::MetricsRegistry* m = s.metrics()) {
+      m->counter("online.sync_lost").add(1);
+    }
+    s.schedule_in(retry_in, [this] { controller_tick(); });
+    return;
+  }
+  if (sync_backoff_ > 0) {
+    sync_backoff_ = 0;
+    if (obs::EventTracer* tr = s.tracer()) {
+      tr->instant(s.now(), tr->track("controller"), "controller",
+                  "sync_restored", {obs::arg("missed", missed_syncs_)});
+    }
+    if (obs::MetricsRegistry* m = s.metrics()) {
+      m->counter("online.sync_restored").add(1);
+    }
+  }
+  if (sync_extra_delay_ > 0) {
+    // Slow counter propagation: the poll completes but the recalibrated
+    // tables land late; selections meanwhile use the stale costs.
+    s.schedule_in(sync_extra_delay_, [this] { run_sync(); });
+  } else {
+    run_sync();
   }
   ++controller_ticks_;
-  sim::Simulator& s = network_->simulator();
   if (obs::EventTracer* tr = s.tracer()) {
     tr->instant(s.now(), tr->track("controller"), "controller", "tick",
                 {obs::arg("tick", controller_ticks_),
@@ -176,9 +258,37 @@ const PolicyTable& OnlineScheduler::table(GroupId group) const {
   return *tables_.at(group);
 }
 
-void OnlineScheduler::seed_cost_for_test(GroupId group, std::size_t policy,
-                                         double cost) {
-  tables_.at(group)->policy(policy).cost = cost;
+void OnlineScheduler::apply_cost_override(GroupId group, std::size_t policy,
+                                          double cost) {
+  HERO_REQUIRE(cost >= 0.0 && std::isfinite(cost),
+               "apply_cost_override: bad cost {}", cost);
+  PolicyTable& table = *tables_.at(group);
+  table.policy(policy).cost = cost;
+  sim::Simulator& s = network_->simulator();
+  if (obs::EventTracer* tr = s.tracer()) {
+    tr->instant(s.now(), tr->track("controller"), "controller",
+                "cost_override",
+                {obs::arg("group", names_.at(group)),
+                 obs::arg("policy", table.policy(policy).name),
+                 obs::arg("cost", cost)});
+  }
+}
+
+void OnlineScheduler::recompute_penalties() {
+  for (auto& table : tables_) {
+    table->update_penalties(network_, config_);
+  }
+}
+
+void OnlineScheduler::attach_switches(sw::SwitchRegistry* switches) {
+  switches_ = switches;
+}
+
+void OnlineScheduler::set_sync_disruption(Time extra_delay, bool drop_sync) {
+  HERO_REQUIRE(extra_delay >= 0.0, "set_sync_disruption: negative delay {}",
+               extra_delay);
+  sync_extra_delay_ = extra_delay;
+  sync_dropped_ = drop_sync;
 }
 
 HeroCommScheduler::HeroCommScheduler(net::FlowNetwork& network,

@@ -61,20 +61,57 @@ class OnlineScheduler {
     return names_.at(group);
   }
 
-  /// Test/experiment hook: overwrite one policy's measured cost b_c, as if
-  /// the controller had calibrated it to `cost`. The next controller tick
-  /// re-syncs from network measurements as usual.
-  void seed_cost_for_test(GroupId group, std::size_t policy, double cost);
+  /// Overwrite one policy's measured cost b_c, as if the controller had
+  /// calibrated it to `cost`. The supported way for tests and the fault
+  /// injector to skew the Eq. 16 selection out of band; the next controller
+  /// tick re-syncs from network measurements as usual.
+  void apply_cost_override(GroupId group, std::size_t policy, double cost);
+
+  /// Re-run the Eq. 18 penalty refresh for every group immediately (the
+  /// fault injector calls this when link state changes between controller
+  /// ticks; a tick would do the same work at the next sync period).
+  void recompute_penalties();
+
+  /// Opt into switch slot-pool health feedback: on every controller tick an
+  /// INA policy whose aggregation switch has no free slots (or a backed-up
+  /// admission queue) is surcharged `OnlineConfig::ina_unavailable_penalty`
+  /// on top of its measured cost, steering Eq. 16 toward ring until the
+  /// pool recovers. Null detaches. Off by default so clean runs are
+  /// byte-identical with pre-chaos behaviour.
+  void attach_switches(sw::SwitchRegistry* switches);
+
+  /// Fault injection on the controller sync channel itself. `extra_delay`
+  /// postpones each tick's table recalibration (slow counter propagation);
+  /// `drop_sync` makes ticks fail entirely — the scheduler then retries
+  /// with exponential backoff (sync_period * 2^k, capped) until the channel
+  /// recovers, serving from stale costs meanwhile.
+  void set_sync_disruption(Time extra_delay, bool drop_sync);
+
+  [[nodiscard]] std::uint64_t controller_ticks() const {
+    return controller_ticks_;
+  }
+  /// Ticks that failed while the sync channel was down.
+  [[nodiscard]] std::uint64_t missed_syncs() const { return missed_syncs_; }
 
  private:
   net::FlowNetwork* network_;
   OnlineConfig config_;
+  sw::SwitchRegistry* switches_ = nullptr;
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<PolicyTable>> tables_;
+  /// Per (group, policy): whether the switch-health surcharge applied at
+  /// the last tick (drives the avoid/resume transition instants).
+  std::vector<std::vector<bool>> ina_avoided_;
   bool started_ = false;
   std::uint64_t controller_ticks_ = 0;
+  std::uint64_t missed_syncs_ = 0;
+  std::uint32_t sync_backoff_ = 0;
+  Time sync_extra_delay_ = 0.0;
+  bool sync_dropped_ = false;
 
   void controller_tick();
+  void run_sync();
+  void apply_switch_health(GroupId group);
 };
 
 /// HeroServe's CommScheduler: hierarchical/heterogeneous policies driven by

@@ -109,6 +109,16 @@ void ClusterSim::setup_stages() {
   }
 }
 
+double ClusterSim::stage_scale(const Stage& stage) const {
+  if (!opts_.compute_scale) return 1.0;
+  double scale = 1.0;
+  for (topo::NodeId g : stage.plan.gpus) {
+    scale = std::max(scale, opts_.compute_scale(g));
+  }
+  HERO_INVARIANT(scale >= 1.0, "compute_scale produced speedup {}", scale);
+  return scale;
+}
+
 Bytes ClusterSim::kv_bytes_per_request(std::size_t total_tokens) const {
   return opts_.model.kv_bytes_per_token() *
          static_cast<double>(total_tokens);
@@ -243,8 +253,10 @@ void ClusterSim::start_kv_transfers(PrefillBatch& batch) {
 void ClusterSim::run_prefill_stage(std::size_t stage_index) {
   Stage& stage = prefill_stages_[stage_index];
   PrefillBatch& batch = *prefill_running_;
-  const Time compute = stage.kernel->prefill_time(
-      batch.k_in, batch.k_in2, stage.layers, stage.p_tens);
+  const Time compute =
+      stage.kernel->prefill_time(batch.k_in, batch.k_in2, stage.layers,
+                                 stage.p_tens) *
+      stage_scale(stage);
   if (obs::EventTracer* tr = simulator().tracer()) {
     tr->begin_span(simulator().now(), tr->track("prefill"), "prefill",
                    strfmt("stage{}", stage_index),
@@ -367,7 +379,8 @@ void ClusterSim::start_decode_iteration() {
   for (Stage& stage : decode_stages_) {
     const Time compute = stage.kernel->decode_time(batch_size, ctx,
                                                    stage.layers,
-                                                   stage.p_tens);
+                                                   stage.p_tens) *
+                         stage_scale(stage);
     simulator().schedule_in(compute, [this, &stage, batch_size, pending] {
       auto finish_piece = [this, batch_size, pending] {
         if (--*pending == 0) on_decode_iteration_done(batch_size);

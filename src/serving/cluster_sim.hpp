@@ -22,6 +22,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -50,6 +51,11 @@ struct ServingOptions {
   std::uint64_t seed = 1;
   /// Abort the run if simulated time exceeds this (hung/overloaded system).
   Time max_sim_time = 3600.0;
+  /// Per-GPU compute slowdown hook (fault injection): returns the current
+  /// multiplier (>= 1) applied to kernel times of stages containing the
+  /// GPU; a stage runs at the pace of its slowest member. Null = 1.0
+  /// everywhere, with zero per-iteration cost.
+  std::function<double(topo::NodeId)> compute_scale;
 };
 
 /// One sample of decode-cluster KV occupancy (Fig. 10's time series).
@@ -143,6 +149,9 @@ class ClusterSim {
   void trace_request_end(const ActiveRequest& ar, Time now);
 
   [[nodiscard]] Bytes kv_bytes_per_request(std::size_t total_tokens) const;
+  /// Current fault-injection slowdown of a stage: max compute_scale over
+  /// its member GPUs (tensor-parallel peers wait for the slowest shard).
+  [[nodiscard]] double stage_scale(const Stage& stage) const;
 };
 
 }  // namespace hero::serve

@@ -7,6 +7,7 @@
 
 #include "core/heroserve.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "obs/trace.hpp"
 
 namespace hero::obs {
@@ -142,8 +143,7 @@ struct ObsServeFixture {
     plan = planner::OfflinePlanner(in).plan();
     EXPECT_TRUE(plan.feasible) << plan.infeasible_reason;
 
-    simulator.attach_tracer(&tracer);
-    simulator.attach_metrics(&metrics);
+    simulator.attach(obs::Sink(&tracer, &metrics));
     network = std::make_unique<net::FlowNetwork>(simulator, graph);
     switches = std::make_unique<sw::SwitchRegistry>(simulator, graph);
     engine = std::make_unique<coll::CollectiveEngine>(*network, *switches);
@@ -222,8 +222,7 @@ TEST(ObsServing, ExperimentConfigWiresTracerThrough) {
 
   EventTracer tracer;
   MetricsRegistry metrics;
-  cfg.tracer = &tracer;
-  cfg.metrics = &metrics;
+  cfg.sink = Sink(&tracer, &metrics);
   const ExperimentResult r = run_experiment(SystemKind::kHeroServe, cfg);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r.report.trace_checked);
@@ -231,9 +230,8 @@ TEST(ObsServing, ExperimentConfigWiresTracerThrough) {
   EXPECT_GT(tracer.event_count(), 0u);
   EXPECT_GT(metrics.size(), 0u);
 
-  // Null sinks = tracing off; the same experiment records nothing.
-  cfg.tracer = nullptr;
-  cfg.metrics = nullptr;
+  // Null sink = tracing off; the same experiment records nothing.
+  cfg.sink = Sink();
   const ExperimentResult quiet = run_experiment(SystemKind::kHeroServe, cfg);
   ASSERT_TRUE(quiet.ok());
   EXPECT_FALSE(quiet.report.trace_checked);

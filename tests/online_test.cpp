@@ -267,7 +267,7 @@ TEST(OnlineScheduler, ControllerTickRecalibratesCosts) {
       "g", build_policies(f.graph, by_server[0], {}));
   // Inflate costs artificially; the controller resets them from (idle)
   // network measurements.
-  sched.seed_cost_for_test(gid, 0, 99.0);
+  sched.apply_cost_override(gid, 0, 99.0);
   sched.start();
   f.simulator.run_until(50.0 * units::ms);
   EXPECT_LT(sched.table(gid).policy(0).cost, 1.0);

@@ -20,6 +20,9 @@ if [ ! -x "$QUICKSTART" ]; then
   exit 2
 fi
 
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+FAULT_PLAN="$REPO_ROOT/examples/faults/switch_chaos.json"
+
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -48,6 +51,32 @@ for seed in "${SEEDS[@]}"; do
   fi
   if [ "$FAIL" -eq 0 ]; then
     echo "determinism_check: seed=$seed OK (stdout + trace byte-identical)"
+  fi
+
+  # Chaos phase: the same gate under an active fault plan. Fault injection
+  # is driven by simulator events, so chaos runs must reproduce just as
+  # exactly as clean ones.
+  for run in 1 2; do
+    mkdir -p "$WORK/chaos-$seed-$run"
+    ( cd "$WORK/chaos-$seed-$run" &&
+      "$QUICKSTART" "$RATE" "$REQUESTS" --seed "$seed" \
+          --trace trace.json --faults "$FAULT_PLAN" > stdout.txt )
+  done
+  if ! cmp -s "$WORK/chaos-$seed-1/stdout.txt" "$WORK/chaos-$seed-2/stdout.txt"; then
+    echo "determinism_check: FAIL seed=$seed chaos stdout differs between runs" >&2
+    diff "$WORK/chaos-$seed-1/stdout.txt" "$WORK/chaos-$seed-2/stdout.txt" | head -20 >&2 || true
+    FAIL=1
+  fi
+  if ! cmp -s "$WORK/chaos-$seed-1/trace.json" "$WORK/chaos-$seed-2/trace.json"; then
+    echo "determinism_check: FAIL seed=$seed chaos trace JSON differs between runs" >&2
+    FAIL=1
+  fi
+  if ! grep -q "faults.injected" "$WORK/chaos-$seed-1/stdout.txt"; then
+    echo "determinism_check: FAIL seed=$seed chaos run injected no faults" >&2
+    FAIL=1
+  fi
+  if [ "$FAIL" -eq 0 ]; then
+    echo "determinism_check: seed=$seed chaos OK (stdout + trace byte-identical)"
   fi
 done
 
