@@ -154,5 +154,27 @@ int main(int argc, char** argv) {
       g_latency["hier INA (NVLink+Eth)+pcie/16.00"] / units::ms,
       g_latency["hier ring (NVLink+Eth)/16.00"] / units::ms,
       g_latency["hier INA (NVLink+Eth)/16.00"] / units::ms);
+
+  hero::bench::JsonReport json("collectives");
+  for (Variant v : {Variant::kFlatRing, Variant::kFlatIna,
+                    Variant::kHierRing, Variant::kHierIna}) {
+    for (Bytes size : kSizes) {
+      const Time latency = g_latency[std::string(name_of(v)) + "/" +
+                                     fmt_double(size / units::MB, 2)];
+      json.add_row()
+          .str("scheme", name_of(v))
+          .num("message_mb", size / units::MB)
+          .num("latency_ms", latency / units::ms);
+    }
+  }
+  for (const char* scheme :
+       {"hier ring (NVLink+Eth)", "hier INA (NVLink+Eth)"}) {
+    json.add_row()
+        .str("scheme", std::string(scheme) + "+pcie")
+        .num("message_mb", 16.0)
+        .num("latency_ms",
+             g_latency[std::string(scheme) + "+pcie/16.00"] / units::ms);
+  }
+  json.write("BENCH_collectives.json");
   return 0;
 }

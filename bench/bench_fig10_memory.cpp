@@ -134,5 +134,17 @@ int main(int argc, char** argv) {
   std::printf(
       "paper: HeroServe consistently maintains the lowest memory "
       "utilization\n");
+
+  hero::bench::JsonReport json("fig10_memory");
+  for (SystemKind kind : kAllSystems) {
+    const Cell& c = g_cells[to_string(kind)];
+    json.add_row()
+        .str("system", to_string(kind))
+        .num("kv_util_avg", c.kv_avg)
+        .num("kv_util_peak", c.kv_peak)
+        .num("tpot_p90_s", c.tpot_p90)
+        .integer("completed", c.completed);
+  }
+  json.write("BENCH_fig10_memory.json");
   return 0;
 }

@@ -106,5 +106,17 @@ int main(int argc, char** argv) {
                    fmt_double(100.0 * g_a100.comm_share(), 1) + "%",
                    ">75%"});
   g_table.print();
+
+  hero::bench::JsonReport json("fig1_prefill_breakdown");
+  for (const auto& [gpu, b] :
+       {std::pair<const char*, const Breakdown&>{"L40", g_l40},
+        {"A100", g_a100}}) {
+    json.add_row()
+        .str("gpu", gpu)
+        .num("compute_s", b.compute)
+        .num("allreduce_s", b.comm)
+        .num("comm_share", b.comm_share());
+  }
+  json.write("BENCH_fig1_prefill_breakdown.json");
   return 0;
 }

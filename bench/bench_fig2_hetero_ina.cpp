@@ -98,5 +98,16 @@ int main(int argc, char** argv) {
   g_table.print();
   std::printf(
       "paper: ~160 us homogeneous vs ~90 us heterogeneous (~43%% lower)\n");
+
+  hero::bench::JsonReport json("fig2_hetero_ina");
+  for (const auto& [network, r] :
+       {std::pair<const char*, const Fig2Result&>{"homogeneous", g_homo},
+        {"heterogeneous", g_hetero}}) {
+    json.add_row()
+        .str("network", network)
+        .num("collection_us", r.collection / units::us)
+        .num("total_us", r.total / units::us);
+  }
+  json.write("BENCH_fig2_hetero_ina.json");
   return 0;
 }

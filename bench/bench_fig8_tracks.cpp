@@ -138,5 +138,21 @@ int main(int argc, char** argv) {
   print_setup(kEightTracks);
   std::printf(
       "paper (8tracks): Hero 1.09x-1.83x; TPOT reduced 28.4%%-42.1%%\n");
+
+  hero::bench::JsonReport json("fig8_tracks");
+  for (const TrackSetup* setup : {&kTwoTracks, &kEightTracks}) {
+    for (SystemKind kind : kAllSystems) {
+      const Cell& c =
+          g_cells[std::string(setup->name) + "/" + to_string(kind)];
+      json.add_row()
+          .str("setup", setup->name)
+          .str("system", to_string(kind))
+          .num("max_rate_rps", c.max_rate)
+          .num("per_gpu_goodput", c.per_gpu)
+          .num("ttft_p90_s", c.ttft_p90)
+          .num("tpot_p90_s", c.tpot_p90);
+    }
+  }
+  json.write("BENCH_fig8_tracks.json");
   return 0;
 }

@@ -159,5 +159,18 @@ int main(int argc, char** argv) {
   std::printf(
       "paper (2tracks): Hero +71.7%% / +26%% / +20.1%% over DistServe / "
       "DS-ATP / DS-SwitchML\n");
+
+  hero::bench::JsonReport json("fig9_ina_throughput");
+  for (SystemKind kind : kAllSystems) {
+    for (Bytes size : kSizes) {
+      const double t = g_throughput[fmt_double(size / units::MB, 0) + "/" +
+                                    to_string(kind)];
+      json.add_row()
+          .str("system", to_string(kind))
+          .num("message_mb", size / units::MB)
+          .num("agg_gbps", t / 1e9);
+    }
+  }
+  json.write("BENCH_fig9_ina_throughput.json");
   return 0;
 }

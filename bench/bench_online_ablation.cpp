@@ -103,6 +103,7 @@ hero::bench::FigureTable g_table(
     "Online scheduler ablation: aggregate all-reduce goodput, 2tracks pod "
     "(16 MB ops, 6 groups)",
     {"variant", "healthy (GB/s)", "with link failure (GB/s)"});
+hero::bench::JsonReport g_json("online_ablation");
 
 void Ablate(benchmark::State& state, Variant variant) {
   double healthy = 0, failed = 0;
@@ -116,6 +117,10 @@ void Ablate(benchmark::State& state, Variant variant) {
   state.counters["failure_GBps"] = failed / 1e9;
   g_table.add_row({variant.name, fmt_double(healthy / 1e9, 2),
                    fmt_double(failed / 1e9, 2)});
+  g_json.add_row()
+      .str("variant", variant.name)
+      .num("healthy_gbps", healthy / 1e9)
+      .num("failure_gbps", failed / 1e9);
 }
 
 Variant make_variant(const char* name, online::OnlineConfig cfg,
@@ -164,5 +169,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   g_table.print();
+  g_json.write("BENCH_online_ablation.json");
   return 0;
 }

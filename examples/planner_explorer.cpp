@@ -94,9 +94,9 @@ int main(int argc, char** argv) {
                               : "HOMOGENEOUS (baseline)",
                 topo_name.c_str(), model.name.c_str(), rate);
     if (!plan.feasible) {
-      std::printf("infeasible: %s (evaluated %zu candidates in %.1f ms)\n",
+      std::printf("infeasible: %s (evaluated %zu candidates, %zu work units)\n",
                   plan.infeasible_reason.c_str(), plan.candidates_evaluated,
-                  plan.solve_seconds * 1e3);
+                  plan.solve_work_units);
       continue;
     }
     std::printf(
@@ -104,8 +104,8 @@ int main(int argc, char** argv) {
         "| q_decode=%zu | mu=%.2f req/s\n",
         plan.throughput_h, plan.t_prefill, plan.t_decode, plan.t_kv,
         plan.q_decode, plan.service_rate);
-    std::printf("solved in %.1f ms over %zu candidates (%zu swaps)\n",
-                plan.solve_seconds * 1e3, plan.candidates_evaluated,
+    std::printf("solved in %zu work units over %zu candidates (%zu swaps)\n",
+                plan.solve_work_units, plan.candidates_evaluated,
                 plan.perturbation_swaps);
     dump_cluster("prefill", plan.prefill, graph);
     dump_cluster("decode", plan.decode, graph);

@@ -33,6 +33,14 @@ Options parse_args(int& argc, char** argv, const char* usage) {
       opts.faults_path = value("--faults");
     } else if (std::strcmp(a, "--trace") == 0) {
       opts.trace_path = value("--trace");
+    } else if (std::strcmp(a, "--instances") == 0) {
+      opts.instances = static_cast<std::size_t>(
+          std::atoll(value("--instances")));
+      if (opts.instances == 0) opts.instances = 1;
+    } else if (std::strcmp(a, "--router") == 0) {
+      opts.router = value("--router");
+    } else if (std::strcmp(a, "--quick") == 0) {
+      opts.quick = true;
     } else {
       if (a[0] != '-') opts.positional.emplace_back(a);
       argv[out++] = argv[i];  // pass through (benchmark flags, positionals)

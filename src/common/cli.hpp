@@ -5,6 +5,9 @@
 //   --seed N           deterministic run seed
 //   --faults plan.json fault-injection plan (see faults/fault_plan.hpp)
 //   --trace out.json   Chrome trace output path
+//   --instances N      fleet size (multi-instance serving)
+//   --router NAME      fleet dispatch policy (rr | random | jsq | hero)
+//   --quick            reduced-size run (smoke-test mode)
 //   --help             print the binary's usage string and exit 0
 // — plus positional argument collection. Recognized flags are *removed*
 // from argv (argc is updated) so harnesses can hand the remainder to
@@ -24,6 +27,9 @@ struct Options {
                                ///< default otherwise)
   std::string faults_path;     ///< empty = no fault plan requested
   std::string trace_path;      ///< empty = no trace requested
+  std::size_t instances = 1;   ///< --instances (fleet size; 1 = single)
+  std::string router;          ///< --router policy name; empty = default
+  bool quick = false;          ///< --quick smoke-test mode
   std::vector<std::string> positional;
 };
 

@@ -44,6 +44,13 @@ class Percentiles {
     values_.push_back(x);
     sorted_ = false;
   }
+  /// Pool another sample set (fleet-level aggregation of per-instance
+  /// distributions).
+  void merge(const Percentiles& other) {
+    values_.insert(values_.end(), other.values_.begin(),
+                   other.values_.end());
+    sorted_ = false;
+  }
   void reserve(std::size_t n) { values_.reserve(n); }
 
   [[nodiscard]] std::size_t count() const { return values_.size(); }

@@ -1,9 +1,11 @@
 #include "core/heroserve.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
+#include "common/format.hpp"
 #include "common/log.hpp"
 #include "faults/injector.hpp"
 
@@ -37,11 +39,13 @@ const gpu::LatencyModel& fitted_model(const llm::ModelConfig& model) {
   return *it->second;
 }
 
-ExperimentResult run_experiment(SystemKind kind,
-                                const ExperimentConfig& cfg) {
-  ExperimentResult result;
-  const wl::Trace trace = wl::generate_trace(cfg.workload);
+namespace {
 
+/// The planner consumes the same experiment fields in both the single-
+/// instance and the fleet pipeline.
+planner::PlannerInputs planner_inputs_for(SystemKind kind,
+                                          const ExperimentConfig& cfg,
+                                          const wl::Trace& trace) {
   // Workload estimates (the online estimator's moving averages, warmed on
   // the trace's own length distribution).
   wl::WorkloadEstimator estimator;
@@ -66,7 +70,66 @@ ExperimentResult run_experiment(SystemKind kind,
   inputs.heterogeneous = kind == SystemKind::kHeroServe;
   inputs.seed = cfg.serving.seed;
   inputs.comm_cost = cfg.engine.cost;
+  return inputs;
+}
 
+/// The communication scheduler per system; `hero` is set for kHeroServe.
+std::unique_ptr<coll::CommScheduler> make_scheduler(
+    SystemKind kind, net::FlowNetwork& network, const ExperimentConfig& cfg,
+    online::HeroCommScheduler** hero) {
+  *hero = nullptr;
+  switch (kind) {
+    case SystemKind::kHeroServe: {
+      online::PolicyBuildOptions build;
+      build.heterogeneous = true;
+      auto owned = std::make_unique<online::HeroCommScheduler>(
+          network, cfg.online, build);
+      *hero = owned.get();
+      return owned;
+    }
+    case SystemKind::kDistServe:
+      return std::make_unique<baselines::StaticCommScheduler>(
+          network, baselines::BaselineKind::kDistServe);
+    case SystemKind::kDsAtp:
+      return std::make_unique<baselines::StaticCommScheduler>(
+          network, baselines::BaselineKind::kAtp);
+    case SystemKind::kDsSwitchMl:
+      return std::make_unique<baselines::StaticCommScheduler>(
+          network, baselines::BaselineKind::kSwitchMl);
+  }
+  return nullptr;
+}
+
+/// Chaos wiring shared by both pipelines: build + arm the injector and
+/// route its compute-scale hook into `serving`.
+std::unique_ptr<faults::FaultInjector> arm_faults(
+    net::FlowNetwork& network, sw::SwitchRegistry& switches,
+    const ExperimentConfig& cfg, online::HeroCommScheduler* hero,
+    serve::ServingOptions& serving) {
+  if (cfg.fault_plan.empty()) return nullptr;
+  faults::FaultInjector::Hooks hooks;
+  hooks.switches = &switches;
+  if (hero != nullptr) {
+    hooks.online = &hero->online();
+    hero->online().attach_switches(&switches);
+  }
+  auto injector = std::make_unique<faults::FaultInjector>(
+      network, cfg.fault_plan, hooks);
+  serving.compute_scale = [inj = injector.get()](topo::NodeId g) {
+    return inj->compute_scale(g);
+  };
+  injector->arm();
+  return injector;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(SystemKind kind,
+                                const ExperimentConfig& cfg) {
+  ExperimentResult result;
+  const wl::Trace trace = wl::generate_trace(cfg.workload);
+
+  const planner::PlannerInputs inputs = planner_inputs_for(kind, cfg, trace);
   planner::OfflinePlanner offline(inputs);
   result.plan = offline.plan();
   if (!result.plan.feasible) {
@@ -82,31 +145,9 @@ ExperimentResult run_experiment(SystemKind kind,
   sw::SwitchRegistry switches(simulator, cfg.topology);
   coll::CollectiveEngine engine(network, switches, cfg.engine);
 
-  std::unique_ptr<coll::CommScheduler> scheduler;
   online::HeroCommScheduler* hero = nullptr;
-  switch (kind) {
-    case SystemKind::kHeroServe: {
-      online::PolicyBuildOptions build;
-      build.heterogeneous = true;
-      auto owned = std::make_unique<online::HeroCommScheduler>(
-          network, cfg.online, build);
-      hero = owned.get();
-      scheduler = std::move(owned);
-      break;
-    }
-    case SystemKind::kDistServe:
-      scheduler = std::make_unique<baselines::StaticCommScheduler>(
-          network, baselines::BaselineKind::kDistServe);
-      break;
-    case SystemKind::kDsAtp:
-      scheduler = std::make_unique<baselines::StaticCommScheduler>(
-          network, baselines::BaselineKind::kAtp);
-      break;
-    case SystemKind::kDsSwitchMl:
-      scheduler = std::make_unique<baselines::StaticCommScheduler>(
-          network, baselines::BaselineKind::kSwitchMl);
-      break;
-  }
+  std::unique_ptr<coll::CommScheduler> scheduler =
+      make_scheduler(kind, network, cfg, &hero);
 
   serve::ServingOptions serving = cfg.serving;
   // The abort deadline is a *drain budget* after the last arrival; at low
@@ -118,26 +159,69 @@ ExperimentResult run_experiment(SystemKind kind,
   // gets the reaction hooks — switch slot-health feedback at controller
   // ticks, immediate cost overrides on link faults; baselines feel the raw
   // faults without any adaptation channel.
-  std::unique_ptr<faults::FaultInjector> injector;
-  if (!cfg.fault_plan.empty()) {
-    faults::FaultInjector::Hooks hooks;
-    hooks.switches = &switches;
-    if (hero != nullptr) {
-      hooks.online = &hero->online();
-      hero->online().attach_switches(&switches);
-    }
-    injector = std::make_unique<faults::FaultInjector>(
-        network, cfg.fault_plan, hooks);
-    serving.compute_scale = [inj = injector.get()](topo::NodeId g) {
-      return inj->compute_scale(g);
-    };
-    injector->arm();
-  }
+  std::unique_ptr<faults::FaultInjector> injector =
+      arm_faults(network, switches, cfg, hero, serving);
 
   serve::ClusterSim cluster(network, engine, *scheduler, result.plan,
                             serving);
   scheduler->start();
   result.report = cluster.run(trace);
+  return result;
+}
+
+FleetExperimentResult run_fleet_experiment(SystemKind kind,
+                                           const ExperimentConfig& cfg) {
+  FleetExperimentResult result;
+  const wl::Trace trace = wl::generate_trace(cfg.workload);
+
+  planner::FleetPlannerInputs fleet_inputs;
+  fleet_inputs.base = planner_inputs_for(kind, cfg, trace);
+  fleet_inputs.instances = std::max<std::size_t>(cfg.fleet.instances, 1);
+  fleet_inputs.balance_stage_rates = cfg.fleet.balance_stage_rates;
+  planner::FleetPlanner fleet_planner(fleet_inputs);
+  result.plan = fleet_planner.plan();
+  if (!result.plan.feasible) {
+    log::warn("{}: fleet planner infeasible: {}", to_string(kind),
+              result.plan.infeasible_reason);
+    return result;
+  }
+
+  sim::Simulator simulator;
+  simulator.attach(cfg.sink);
+  net::FlowNetwork network(simulator, cfg.topology);
+  sw::SwitchRegistry switches(simulator, cfg.topology);
+  coll::CollectiveEngine engine(network, switches, cfg.engine);
+
+  online::HeroCommScheduler* hero = nullptr;
+  std::unique_ptr<coll::CommScheduler> scheduler =
+      make_scheduler(kind, network, cfg, &hero);
+
+  serve::ServingOptions serving = cfg.serving;
+  serving.max_sim_time =
+      cfg.serving.max_sim_time + (trace.empty() ? 0.0 : trace.back().arrival);
+  std::unique_ptr<faults::FaultInjector> injector =
+      arm_faults(network, switches, cfg, hero, serving);
+
+  // Router randomness follows the experiment seed so `--seed` reruns are
+  // reproducible end to end (the config's own seed offsets the stream).
+  serve::RouterConfig router = cfg.fleet.router;
+  router.seed += cfg.serving.seed * 0x9e3779b9ull;
+
+  serve::FleetSim fleet(network, engine, router);
+  for (std::size_t i = 0; i < result.plan.instances.size(); ++i) {
+    // Per-instance policy tables: one shared scheduler, prefixed group
+    // names ("i2.group5") so traces and metrics stay attributable.
+    if (hero != nullptr) hero->set_group_prefix(strfmt("i{}.", i));
+    serve::ServingOptions instance_serving = serving;
+    // Decorrelate per-instance kernel noise streams.
+    instance_serving.seed = serving.seed + i * 7919;
+    fleet.add_instance(*scheduler, result.plan.instances[i],
+                       std::move(instance_serving));
+  }
+  if (hero != nullptr) hero->set_group_prefix("");
+
+  scheduler->start();
+  result.report = fleet.run(trace);
   return result;
 }
 

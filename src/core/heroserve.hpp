@@ -17,8 +17,10 @@
 #include "faults/fault_plan.hpp"
 #include "obs/sink.hpp"
 #include "online/scheduler.hpp"
+#include "planner/fleet.hpp"
 #include "planner/planner.hpp"
 #include "serving/cluster_sim.hpp"
+#include "serving/fleet_sim.hpp"
 #include "topology/builders.hpp"
 #include "workload/trace.hpp"
 
@@ -71,6 +73,16 @@ struct ExperimentConfig {
   /// slot-health feedback and immediate cost overrides wired into its
   /// online scheduler; baselines only feel the raw faults.
   faults::FaultPlan fault_plan;
+
+  /// Multi-instance serving (run_fleet_experiment). instances == 1 keeps
+  /// the config usable with the single-instance run_experiment unchanged.
+  struct FleetOptions {
+    std::size_t instances = 1;
+    serve::RouterConfig router;  ///< dispatch policy + seed + cost weights
+    /// planner::FleetPlannerInputs::balance_stage_rates.
+    bool balance_stage_rates = true;
+  };
+  FleetOptions fleet;
 };
 
 struct ExperimentResult {
@@ -88,6 +100,20 @@ struct ExperimentResult {
 /// deployment the report is empty and result.ok() is false.
 [[nodiscard]] ExperimentResult run_experiment(SystemKind kind,
                                               const ExperimentConfig& cfg);
+
+struct FleetExperimentResult {
+  planner::FleetPlan plan;
+  serve::FleetReport report;
+  [[nodiscard]] bool ok() const { return plan.feasible; }
+};
+
+/// Fleet pipeline: FleetPlanner packs cfg.fleet.instances replicas onto
+/// cfg.topology, then FleetSim serves the trace behind the configured
+/// router — one shared simulator/flownet/engine/scheduler (per-instance
+/// policy-table prefixes on HeroServe) and the same fault wiring as
+/// run_experiment. ok() is false when not every instance fits.
+[[nodiscard]] FleetExperimentResult run_fleet_experiment(
+    SystemKind kind, const ExperimentConfig& cfg);
 
 struct RateSearchResult {
   double max_rate = 0.0;  ///< highest rate meeting the attainment target

@@ -374,6 +374,20 @@ std::vector<Bandwidth> FlowNetwork::residual_bandwidth() const {
   return out;
 }
 
+std::vector<Bandwidth> FlowNetwork::fair_share_bandwidth() const {
+  std::vector<std::size_t> flows(graph_->edge_count() * 2, 0);
+  for (const auto& [id, t] : transfers_) {
+    for (DirectedLink link : active_links(t)) ++flows[link.index()];
+  }
+  std::vector<Bandwidth> out(graph_->edge_count(), 0.0);
+  for (topo::EdgeId e = 0; e < graph_->edge_count(); ++e) {
+    const Bandwidth cap = graph_->edge(e).capacity * degradation_[e];
+    const std::size_t busiest = std::max(flows[e * 2], flows[e * 2 + 1]);
+    out[e] = cap / static_cast<double>(busiest + 1);
+  }
+  return out;
+}
+
 Bytes FlowNetwork::delivered_bytes(DirectedLink link) const {
   return link_delivered_[link.index()];
 }

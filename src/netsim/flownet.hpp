@@ -89,6 +89,12 @@ class FlowNetwork {
   /// Residual bandwidth per edge = C(e) * degradation - busy rate (max over
   /// directions); the planner's `B(e)` vector (size = edge_count).
   [[nodiscard]] std::vector<Bandwidth> residual_bandwidth() const;
+  /// Per-edge estimate of the rate a *new* unit-weight flow would get:
+  /// C(e) * degradation / (flows on the busier direction + 1). Residual is
+  /// the wrong lens for admission under max-min sharing — a saturated link
+  /// reads zero forever even though a new flow simply squeezes the others
+  /// down to fair share (size = edge_count).
+  [[nodiscard]] std::vector<Bandwidth> fair_share_bandwidth() const;
   /// Total bytes delivered on a directed link since construction.
   [[nodiscard]] Bytes delivered_bytes(DirectedLink link) const;
 

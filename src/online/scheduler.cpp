@@ -301,7 +301,8 @@ GroupId HeroCommScheduler::register_group(
   std::vector<Policy> policies =
       build_policies(network_->graph(), members, build_);
   return online_.register_group(
-      strfmt("group{}", online_.group_count()), std::move(policies));
+      group_prefix_ + strfmt("group{}", online_.group_count()),
+      std::move(policies));
 }
 
 coll::AllReducePlan HeroCommScheduler::all_reduce_plan(GroupId group,

@@ -129,9 +129,18 @@ class HeroCommScheduler final : public coll::CommScheduler {
 
   [[nodiscard]] OnlineScheduler& online() { return online_; }
 
+  /// Prefix applied to subsequently registered group names ("i3." gives
+  /// "i3.group7"). The fleet experiment sets this per instance so one
+  /// shared scheduler keeps per-instance policy tables tellable apart in
+  /// traces and metrics.
+  void set_group_prefix(std::string prefix) {
+    group_prefix_ = std::move(prefix);
+  }
+
  private:
   net::FlowNetwork* network_;
   PolicyBuildOptions build_;
+  std::string group_prefix_;
   OnlineScheduler online_;
 };
 

@@ -1,0 +1,83 @@
+#include "planner/fleet.hpp"
+
+#include <stdexcept>
+
+#include "common/format.hpp"
+
+namespace hero::planner {
+
+FleetPlanner::FleetPlanner(FleetPlannerInputs inputs)
+    : in_(std::move(inputs)) {
+  if (in_.base.graph == nullptr || in_.base.latency == nullptr) {
+    throw std::invalid_argument("FleetPlanner: graph/latency required");
+  }
+  if (in_.instances == 0) {
+    throw std::invalid_argument("FleetPlanner: instances must be >= 1");
+  }
+}
+
+FleetPlan FleetPlanner::plan() {
+  FleetPlan fleet;
+  // Scratch copy: claimed GPUs are marked by zeroing memory_free, which
+  // fails every m_req eligibility test in candidate generation and pool
+  // splitting. Node ids are shared with the caller's graph, so the
+  // returned plans deploy directly onto it.
+  topo::Graph scratch = *in_.base.graph;
+
+  std::size_t last_pre_gpus = 0;
+  std::size_t last_dec_gpus = 0;
+  for (std::size_t i = 0; i < in_.instances; ++i) {
+    PlannerInputs inputs = in_.base;
+    inputs.graph = &scratch;
+    inputs.arrival_rate =
+        in_.base.arrival_rate / static_cast<double>(in_.instances);
+    inputs.seed = in_.base.seed + i;
+    if (in_.balance_stage_rates && i > 0) {
+      // Steer spare GPUs toward the lagging stage: the stage whose
+      // aggregate service rate is ahead may not grow past its
+      // predecessor's footprint.
+      if (fleet.service_rate_prefill > fleet.service_rate_decode) {
+        inputs.max_prefill_gpus = last_pre_gpus;
+      } else if (fleet.service_rate_decode > fleet.service_rate_prefill) {
+        inputs.max_decode_gpus = last_dec_gpus;
+      }
+    }
+
+    OfflinePlanner planner(inputs);
+    PlanResult result = planner.plan();
+    if (!result.feasible &&
+        (inputs.max_prefill_gpus != 0 || inputs.max_decode_gpus != 0)) {
+      // The balance cap can over-constrain a shrunken pool; the replica
+      // itself matters more than the ratio, so retry unconstrained.
+      inputs.max_prefill_gpus = 0;
+      inputs.max_decode_gpus = 0;
+      OfflinePlanner retry(inputs);
+      result = retry.plan();
+    }
+    if (!result.feasible) {
+      fleet.infeasible_reason = strfmt(
+          "instance {}: {}", i, result.infeasible_reason);
+      break;
+    }
+
+    last_pre_gpus = result.prefill.parallel.gpus();
+    last_dec_gpus = result.decode.parallel.gpus();
+    for (topo::NodeId g : result.prefill.all_gpus()) {
+      scratch.node(g).gpu.memory_free = 0.0;
+    }
+    for (topo::NodeId g : result.decode.all_gpus()) {
+      scratch.node(g).gpu.memory_free = 0.0;
+    }
+    fleet.gpus_used += last_pre_gpus + last_dec_gpus;
+    fleet.service_rate += result.service_rate;
+    fleet.service_rate_prefill += result.service_rate_prefill;
+    fleet.service_rate_decode += result.service_rate_decode;
+    fleet.instances.push_back(std::move(result));
+  }
+
+  fleet.feasible = fleet.instances.size() == in_.instances;
+  if (fleet.feasible) fleet.infeasible_reason.clear();
+  return fleet;
+}
+
+}  // namespace hero::planner

@@ -1,0 +1,54 @@
+// Fleet planner: packs N replicated (prefill, decode) instances onto one
+// cluster by running the offline planner repeatedly over the remaining
+// GPU pool.
+//
+// Each round plans one instance against the GPUs no earlier instance
+// claimed (claimed GPUs have their free memory zeroed in a scratch copy of
+// the graph, which excludes them from every m_req eligibility test). The
+// per-instance arrival rate is the fleet rate divided by the instance
+// count, so each instance is sized for its fair share of the load.
+//
+// Stage-rate balancing (Taming-the-Chaos style): instance plans expose
+// their prefill/decode service rates; when the fleet-aggregate rates
+// drift apart, the next instance's overprovisioned stage is capped at its
+// predecessor's GPU budget so spare GPUs flow to the lagging stage. The
+// loop is fully deterministic — same inputs, same fleet.
+#pragma once
+
+#include "planner/planner.hpp"
+
+namespace hero::planner {
+
+struct FleetPlannerInputs {
+  /// Template for every instance. `arrival_rate` is the FLEET-wide rate;
+  /// `graph` is the shared cluster (never mutated — planning works on a
+  /// scratch copy). Per-instance seeds derive from `base.seed + instance`.
+  PlannerInputs base;
+  std::size_t instances = 1;
+  /// Cap the overprovisioned stage of later instances (see file comment).
+  bool balance_stage_rates = true;
+};
+
+struct FleetPlan {
+  bool feasible = false;  ///< all requested instances packed
+  std::string infeasible_reason;
+  std::vector<PlanResult> instances;  ///< packed instances, in plan order
+  std::size_t gpus_used = 0;
+  // Fleet-aggregate service rates (sums over instances).
+  double service_rate = 0.0;
+  double service_rate_prefill = 0.0;
+  double service_rate_decode = 0.0;
+};
+
+class FleetPlanner {
+ public:
+  explicit FleetPlanner(FleetPlannerInputs inputs);
+
+  /// Pack up to `instances` replicas; stops early when the pool runs dry.
+  [[nodiscard]] FleetPlan plan();
+
+ private:
+  FleetPlannerInputs in_;
+};
+
+}  // namespace hero::planner

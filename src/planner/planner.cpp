@@ -1,7 +1,6 @@
 #include "planner/planner.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 #include <map>
 #include <stdexcept>
@@ -136,7 +135,13 @@ std::vector<CandidateConfig> OfflinePlanner::generate_candidates() const {
 
   std::vector<CandidateConfig> candidates;
   for (const ParallelConfig& pre : combos) {
+    if (in_.max_prefill_gpus > 0 && pre.gpus() > in_.max_prefill_gpus) {
+      continue;
+    }
     for (const ParallelConfig& dec : combos) {
+      if (in_.max_decode_gpus > 0 && dec.gpus() > in_.max_decode_gpus) {
+        continue;
+      }
       if (pre.gpus() + dec.gpus() <= gpus.size()) {
         candidates.push_back({pre, dec});
       }
@@ -419,10 +424,6 @@ Time OfflinePlanner::kv_transfer_latency(const ClusterPlan& prefill,
 }
 
 PlanResult OfflinePlanner::plan() {
-  // Wall-clock is reporting-only (solve_seconds); it never influences the
-  // search itself, so determinism of the plan is preserved.
-  const auto wall_start =
-      std::chrono::steady_clock::now();  // hero-lint: allow(wall-clock)
   PlanResult best;
   best.infeasible_reason = "no candidate evaluated";
   const Bytes model_bytes = in_.model.param_bytes();
@@ -565,15 +566,18 @@ PlanResult OfflinePlanner::plan() {
       best.t_serve = t_serve;
       best.q_decode = q_dec;
       best.service_rate = mu;
+      best.service_rate_prefill = mu_pre;
+      best.service_rate_decode = mu_dec;
+      best.planned_k_in = in_.k_in;
       best.queue = queue;
       best.throughput_h = h;
     }
   }
 
-  const auto wall_end =
-      std::chrono::steady_clock::now();  // hero-lint: allow(wall-clock)
-  best.solve_seconds =
-      std::chrono::duration<double>(wall_end - wall_start).count();
+  // Deterministic effort metric: every candidate runs the k-means grouping
+  // once plus perturb_rounds random-swap rounds, for both clusters.
+  best.solve_work_units =
+      best.candidates_evaluated * 2 * (1 + in_.perturb_rounds);
   return best;
 }
 

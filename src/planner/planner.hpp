@@ -76,6 +76,12 @@ struct PlannerInputs {
   std::size_t prefill_token_budget = 16384;  ///< per-iteration token chunk
   std::size_t max_candi = 20; ///< candidate configurations evaluated
   std::size_t perturb_rounds = 5;
+  /// Per-cluster GPU caps on candidate generation (0 = unbounded). The
+  /// fleet planner uses these to steer an instance toward a smaller
+  /// prefill (or decode) footprint when the fleet-aggregate service rates
+  /// of the two stages drift apart (Taming-the-Chaos-style ratio control).
+  std::size_t max_prefill_gpus = 0;
+  std::size_t max_decode_gpus = 0;
   bool heterogeneous = true;  ///< NVLink paths + hierarchical schemes
   std::uint64_t seed = 7;
   coll::CostConfig comm_cost;
@@ -112,13 +118,23 @@ struct PlanResult {
   Time t_serve = 0.0;
   std::size_t q_decode = 1;   ///< memory-feasible decode concurrency
   double service_rate = 0.0;  ///< min(prefill, decode) capacity (req/s)
+  /// Per-stage service rates (mu_pre / mu_dec of the capacity model); the
+  /// fleet planner balances these across replicated instances.
+  double service_rate_prefill = 0.0;
+  double service_rate_decode = 0.0;
+  /// The K_in the capacity model was calibrated for; converts a live token
+  /// backlog into "equivalent requests" (the fleet router's queue term).
+  std::size_t planned_k_in = 0;
   QueueEstimate queue;
   double throughput_h = 0.0;  ///< H = 1 / T_req
 
-  // Solver telemetry.
+  // Solver telemetry. The solver itself is deterministic, so its effort is
+  // reported in deterministic work units (candidates x perturbation
+  // rounds), not wall-clock; benches that want wall time measure around
+  // plan() themselves.
   std::size_t candidates_evaluated = 0;
   std::size_t perturbation_swaps = 0;
-  Time solve_seconds = 0.0;  ///< wall-clock planning time
+  std::size_t solve_work_units = 0;  ///< candidates * (1 + perturb rounds)
 };
 
 class OfflinePlanner {

@@ -431,36 +431,26 @@ void ClusterSim::on_decode_iteration_done(std::size_t batch_size) {
   if (!decode_busy_ && !decoding_.empty()) start_decode_iteration();
 }
 
-ServingReport ClusterSim::run(const wl::Trace& trace) {
-  sim::Simulator& sim = simulator();
-  const std::uint64_t ops_before = engine_->ops_completed;
-  const std::uint64_t fb_before = engine_->fallbacks_taken;
-  obs::EventTracer* tr = sim.tracer();
-  const std::uint64_t tr_coll_before =
-      tr ? tr->count("collective", obs::Phase::kAsyncEnd) : 0;
-  const std::uint64_t tr_fb_before =
-      tr ? tr->count("ina_fallback", obs::Phase::kInstant) : 0;
-  record_kv(sim.now());
+void ClusterSim::begin() { record_kv(simulator().now()); }
 
-  for (const wl::Request& r : trace) {
-    sim.schedule(r.arrival, [this, r] { on_arrival(r); });
-  }
+void ClusterSim::submit(const wl::Request& request) { on_arrival(request); }
 
-  while (retired_.size() < trace.size() && sim.now() < opts_.max_sim_time) {
-    if (!sim.step()) break;
-  }
-  if (retired_.size() < trace.size()) {
-    log::warn(
-        "serving run incomplete: t={} retired={}/{} prefill_q={} "
-        "prefill_running={} decode_wait={} decoding={} transfers={} "
-        "pending_events={}",
-        sim.now(), retired_.size(), trace.size(), prefill_queue_.size(),
-        prefill_running_ != nullptr, decode_wait_queue_.size(),
-        decoding_.size(), network_->active_transfers(),
-        sim.pending_events());
-    network_->debug_dump();
-  }
+std::size_t ClusterSim::prefill_load() const {
+  return prefill_queue_.size() +
+         (prefill_running_ ? prefill_running_->requests.size() : 0);
+}
 
+std::size_t ClusterSim::prefill_backlog_tokens() const {
+  std::size_t tokens = prefill_running_ ? prefill_running_->k_in : 0;
+  for (const auto& ar : prefill_queue_) tokens += ar->req.input_tokens;
+  return tokens;
+}
+
+std::size_t ClusterSim::decode_load() const {
+  return decode_wait_queue_.size() + decoding_.size();
+}
+
+ServingReport ClusterSim::report(std::size_t expected) const {
   ServingReport report;
   report.submitted = submitted_;
   report.gpus_used = prefill_gpus_.size() + decode_gpus_.size();
@@ -498,9 +488,9 @@ ServingReport ClusterSim::run(const wl::Trace& trace) {
     }
   }
   report.sla_attainment =
-      trace.empty() ? 0.0
+      expected == 0 ? 0.0
                     : static_cast<double>(within_sla) /
-                          static_cast<double>(trace.size());
+                          static_cast<double>(expected);
   report.makespan = last_finish;
   report.requests_per_second =
       last_finish > 0 ? static_cast<double>(report.completed) / last_finish
@@ -510,10 +500,44 @@ ServingReport ClusterSim::run(const wl::Trace& trace) {
           ? report.requests_per_second /
                 static_cast<double>(report.gpus_used)
           : 0.0;
-  record_kv(sim.now());
   report.kv_utilization_avg = kv_util_.average();
   report.kv_utilization_peak = kv_util_.peak();
   report.kv_timeline = kv_timeline_;
+  return report;
+}
+
+ServingReport ClusterSim::run(const wl::Trace& trace) {
+  sim::Simulator& sim = simulator();
+  const std::uint64_t ops_before = engine_->ops_completed;
+  const std::uint64_t fb_before = engine_->fallbacks_taken;
+  obs::EventTracer* tr = sim.tracer();
+  const std::uint64_t tr_coll_before =
+      tr ? tr->count("collective", obs::Phase::kAsyncEnd) : 0;
+  const std::uint64_t tr_fb_before =
+      tr ? tr->count("ina_fallback", obs::Phase::kInstant) : 0;
+  begin();
+
+  for (const wl::Request& r : trace) {
+    sim.schedule(r.arrival, [this, r] { submit(r); });
+  }
+
+  while (retired_.size() < trace.size() && sim.now() < opts_.max_sim_time) {
+    if (!sim.step()) break;
+  }
+  if (retired_.size() < trace.size()) {
+    log::warn(
+        "serving run incomplete: t={} retired={}/{} prefill_q={} "
+        "prefill_running={} decode_wait={} decoding={} transfers={} "
+        "pending_events={}",
+        sim.now(), retired_.size(), trace.size(), prefill_queue_.size(),
+        prefill_running_ != nullptr, decode_wait_queue_.size(),
+        decoding_.size(), network_->active_transfers(),
+        sim.pending_events());
+    network_->debug_dump();
+  }
+
+  record_kv(sim.now());
+  ServingReport report = this->report(trace.size());
   report.collectives = engine_->ops_completed - ops_before;
   report.ina_fallbacks = engine_->fallbacks_taken - fb_before;
   if (tr) {

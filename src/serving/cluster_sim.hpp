@@ -102,6 +102,42 @@ class ClusterSim {
   /// Execute the trace to completion (or options.max_sim_time) and report.
   [[nodiscard]] ServingReport run(const wl::Trace& trace);
 
+  // --- fleet-facing API ------------------------------------------------
+  // FleetSim drives many ClusterSims on one shared simulator: it submits
+  // routed requests itself and assembles per-instance reports at the end.
+  // run() is implemented on top of these primitives.
+
+  /// Record the initial KV-occupancy sample. Call once before submitting.
+  void begin();
+  /// Hand one request to this instance at the current simulated time.
+  void submit(const wl::Request& request);
+  [[nodiscard]] std::size_t submitted_count() const { return submitted_; }
+  [[nodiscard]] std::size_t retired_count() const { return retired_.size(); }
+
+  /// Metrics-only report over everything retired so far. `expected` is the
+  /// SLA-attainment denominator (the requests this instance was meant to
+  /// serve). Engine/tracer counter deltas are left zero — they are shared
+  /// fleet-wide and only the single-instance run() can attribute them.
+  [[nodiscard]] ServingReport report(std::size_t expected) const;
+
+  // --- load snapshot (router inputs) -----------------------------------
+  /// Requests waiting for or inside the prefill pipeline.
+  [[nodiscard]] std::size_t prefill_load() const;
+  /// Input tokens queued ahead of a new arrival (incl. the running batch).
+  [[nodiscard]] std::size_t prefill_backlog_tokens() const;
+  /// Requests waiting for or holding decode slots.
+  [[nodiscard]] std::size_t decode_load() const;
+  [[nodiscard]] Bytes kv_used() const { return kv_used_; }
+  [[nodiscard]] Bytes kv_budget() const { return kv_budget_; }
+  [[nodiscard]] const planner::PlanResult& plan() const { return plan_; }
+  [[nodiscard]] const ServingOptions& options() const { return opts_; }
+  [[nodiscard]] const std::vector<topo::NodeId>& prefill_gpu_ids() const {
+    return prefill_gpus_;
+  }
+  [[nodiscard]] const std::vector<topo::NodeId>& decode_gpu_ids() const {
+    return decode_gpus_;
+  }
+
  private:
   struct Stage;
   struct ActiveRequest;

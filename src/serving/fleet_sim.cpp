@@ -1,0 +1,145 @@
+#include "serving/fleet_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/format.hpp"
+#include "common/log.hpp"
+#include "obs/trace.hpp"
+
+namespace hero::serve {
+
+FleetSim::FleetSim(net::FlowNetwork& network, coll::CollectiveEngine& engine,
+                   RouterConfig router_config)
+    : network_(&network), engine_(&engine),
+      router_(network, router_config) {}
+
+ClusterSim& FleetSim::add_instance(coll::CommScheduler& scheduler,
+                                   planner::PlanResult plan,
+                                   ServingOptions options) {
+  instances_.push_back(std::make_unique<ClusterSim>(
+      *network_, *engine_, scheduler, std::move(plan), std::move(options)));
+  router_.add_instance(*instances_.back());
+  return *instances_.back();
+}
+
+std::size_t FleetSim::total_retired() const {
+  std::size_t total = 0;
+  for (const auto& inst : instances_) total += inst->retired_count();
+  return total;
+}
+
+FleetReport FleetSim::run(const wl::Trace& trace) {
+  HERO_REQUIRE(!instances_.empty(), "FleetSim::run: no instances deployed");
+  sim::Simulator& sim = network_->simulator();
+  const std::uint64_t ops_before = engine_->ops_completed;
+  const std::uint64_t fb_before = engine_->fallbacks_taken;
+  obs::EventTracer* tr = sim.tracer();
+  const std::uint64_t tr_coll_before =
+      tr ? tr->count("collective", obs::Phase::kAsyncEnd) : 0;
+  const std::uint64_t tr_fb_before =
+      tr ? tr->count("ina_fallback", obs::Phase::kInstant) : 0;
+
+  Time max_sim_time = 0.0;
+  for (auto& inst : instances_) {
+    inst->begin();
+    max_sim_time = std::max(max_sim_time, inst->options().max_sim_time);
+  }
+
+  for (const wl::Request& r : trace) {
+    sim.schedule(r.arrival, [this, r, tr] {
+      // Dispatch happens at the arrival instant against the fleet's live
+      // state (queue depths and residual bandwidth as of *now*).
+      const std::size_t id = router_.route(r);
+      if (tr) {
+        tr->instant(network_->simulator().now(), tr->track("router"),
+                    "router", "route",
+                    {obs::arg("req", r.id), obs::arg("instance", id)});
+      }
+      instances_[id]->submit(r);
+    });
+  }
+
+  while (total_retired() < trace.size() && sim.now() < max_sim_time) {
+    if (!sim.step()) break;
+  }
+  if (total_retired() < trace.size()) {
+    log::warn("fleet run incomplete: t={} retired={}/{} instances={}",
+              sim.now(), total_retired(), trace.size(), instances_.size());
+    network_->debug_dump();
+  }
+
+  FleetReport fleet;
+  fleet.dispatched = router_.dispatched();
+  ServingReport& agg = fleet.aggregate;
+  double within_sla = 0.0;
+  Bytes kv_budget_total = 0.0;
+  double kv_avg_weighted = 0.0;
+  for (auto& inst : instances_) {
+    inst->begin();  // close the KV-occupancy time series at `now`
+    ServingReport rep = inst->report(inst->submitted_count());
+    agg.submitted += rep.submitted;
+    agg.completed += rep.completed;
+    agg.gpus_used += rep.gpus_used;
+    agg.makespan = std::max(agg.makespan, rep.makespan);
+    agg.ttft.merge(rep.ttft);
+    agg.tpot.merge(rep.tpot);
+    // report() normalized attainment by this instance's own submissions;
+    // recover the absolute count so the fleet number is exact.
+    within_sla += std::round(rep.sla_attainment *
+                             static_cast<double>(rep.submitted));
+    agg.kv_utilization_peak =
+        std::max(agg.kv_utilization_peak, rep.kv_utilization_peak);
+    kv_avg_weighted += rep.kv_utilization_avg * inst->kv_budget();
+    kv_budget_total += inst->kv_budget();
+    fleet.per_instance.push_back(std::move(rep));
+  }
+  agg.sla_attainment =
+      trace.empty() ? 0.0 : within_sla / static_cast<double>(trace.size());
+  agg.requests_per_second =
+      agg.makespan > 0
+          ? static_cast<double>(agg.completed) / agg.makespan
+          : 0.0;
+  agg.per_gpu_goodput =
+      agg.gpus_used > 0 ? agg.requests_per_second /
+                              static_cast<double>(agg.gpus_used)
+                        : 0.0;
+  agg.kv_utilization_avg =
+      kv_budget_total > 0 ? kv_avg_weighted / kv_budget_total : 0.0;
+
+  // Engine counters are shared across instances; only fleet-wide deltas
+  // are attributable.
+  agg.collectives = engine_->ops_completed - ops_before;
+  agg.ina_fallbacks = engine_->fallbacks_taken - fb_before;
+  if (tr) {
+    agg.trace_checked = true;
+    agg.trace_collectives =
+        tr->count("collective", obs::Phase::kAsyncEnd) - tr_coll_before;
+    agg.trace_ina_fallbacks =
+        tr->count("ina_fallback", obs::Phase::kInstant) - tr_fb_before;
+    agg.trace_consistent =
+        agg.trace_collectives == agg.collectives &&
+        agg.trace_ina_fallbacks == agg.ina_fallbacks;
+    HERO_INVARIANT(agg.trace_consistent,
+                   "engine/tracer drift: {} vs {} collectives, {} vs {} "
+                   "fallbacks",
+                   agg.collectives, agg.trace_collectives, agg.ina_fallbacks,
+                   agg.trace_ina_fallbacks);
+  }
+
+  if (!fleet.dispatched.empty()) {
+    std::uint64_t total = 0, peak = 0;
+    for (std::uint64_t d : fleet.dispatched) {
+      total += d;
+      peak = std::max(peak, d);
+    }
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(fleet.dispatched.size());
+    fleet.dispatch_imbalance =
+        mean > 0 ? static_cast<double>(peak) / mean - 1.0 : 0.0;
+  }
+  return fleet;
+}
+
+}  // namespace hero::serve

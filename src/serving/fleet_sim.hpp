@@ -1,0 +1,63 @@
+// Multi-instance serving simulator: N replicated (prefill, decode)
+// ClusterSim instances behind one Router, all driven by the one shared
+// sim::Simulator. Instances share the flow network (so cross-instance KV
+// and collective traffic genuinely contend on rack uplinks), the obs sink,
+// the collective engine, and — through the simulator — the fault injector.
+//
+// FleetSim owns the dispatch loop: each trace arrival is routed at its
+// arrival instant against the fleet's *current* state, then submitted to
+// the chosen instance. Reports aggregate the per-instance distributions
+// (pooled percentiles, fleet goodput) next to each instance's own numbers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "serving/cluster_sim.hpp"
+#include "serving/router.hpp"
+
+namespace hero::serve {
+
+struct FleetReport {
+  ServingReport aggregate;  ///< pooled over all instances
+  std::vector<ServingReport> per_instance;
+  std::vector<std::uint64_t> dispatched;  ///< router decisions per instance
+  /// max/mean - 1 over per-instance dispatch counts (0 = perfectly even).
+  double dispatch_imbalance = 0.0;
+};
+
+class FleetSim {
+ public:
+  FleetSim(net::FlowNetwork& network, coll::CollectiveEngine& engine,
+           RouterConfig router_config);
+
+  FleetSim(const FleetSim&) = delete;
+  FleetSim& operator=(const FleetSim&) = delete;
+
+  /// Deploy one planned instance. The scheduler reference must outlive the
+  /// fleet; instances may share one scheduler (per-instance group tables)
+  /// or bring their own.
+  ClusterSim& add_instance(coll::CommScheduler& scheduler,
+                           planner::PlanResult plan, ServingOptions options);
+
+  /// Route + serve the whole trace on the shared simulator.
+  [[nodiscard]] FleetReport run(const wl::Trace& trace);
+
+  [[nodiscard]] Router& router() { return router_; }
+  [[nodiscard]] std::size_t instance_count() const {
+    return instances_.size();
+  }
+  [[nodiscard]] ClusterSim& instance(std::size_t id) {
+    return *instances_.at(id);
+  }
+
+ private:
+  net::FlowNetwork* network_;
+  coll::CollectiveEngine* engine_;
+  Router router_;
+  std::vector<std::unique_ptr<ClusterSim>> instances_;
+
+  [[nodiscard]] std::size_t total_retired() const;
+};
+
+}  // namespace hero::serve

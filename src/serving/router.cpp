@@ -1,0 +1,192 @@
+#include "serving/router.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "topology/paths.hpp"
+
+namespace hero::serve {
+
+const char* to_string(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kRoundRobin: return "rr";
+    case RouterPolicy::kRandom: return "random";
+    case RouterPolicy::kShortestQueue: return "jsq";
+    case RouterPolicy::kHeroServe: return "hero";
+  }
+  return "?";
+}
+
+std::optional<RouterPolicy> parse_router_policy(std::string_view name) {
+  if (name == "rr" || name == "round-robin") {
+    return RouterPolicy::kRoundRobin;
+  }
+  if (name == "random") return RouterPolicy::kRandom;
+  if (name == "jsq" || name == "shortest-queue") {
+    return RouterPolicy::kShortestQueue;
+  }
+  if (name == "hero" || name == "heroserve") return RouterPolicy::kHeroServe;
+  return std::nullopt;
+}
+
+Router::Router(net::FlowNetwork& network, RouterConfig config)
+    : network_(&network), config_(config), rng_(config.seed) {}
+
+std::size_t Router::add_instance(ClusterSim& instance) {
+  Instance inst;
+  inst.sim = &instance;
+  // Static pairing paths: GPU i of the prefill cluster streams its KV shard
+  // to decode GPU i * |dec| / |pre| (the serving simulator's mapping). The
+  // route is the plain shortest path — the *load* is applied at dispatch
+  // time through the fair-share bandwidth vector, so the estimate follows
+  // congestion without perturbing any scheduler state.
+  const auto& pre = instance.prefill_gpu_ids();
+  const auto& dec = instance.decode_gpu_ids();
+  inst.kv_paths.reserve(pre.size());
+  for (std::size_t i = 0; i < pre.size() && !dec.empty(); ++i) {
+    const std::size_t j = i * dec.size() / pre.size();
+    auto path = topo::shortest_path(network_->graph(), pre[i], dec[j]);
+    if (path) inst.kv_paths.push_back(std::move(*path));
+  }
+  instances_.push_back(std::move(inst));
+  dispatched_.push_back(0);
+  return instances_.size() - 1;
+}
+
+double Router::cost_with_fair_share(
+    const Instance& inst, const wl::Request& request,
+    const std::vector<Bandwidth>& fair_share) const {
+  const ClusterSim& sim = *inst.sim;
+  const planner::PlanResult& plan = sim.plan();
+  const ServingOptions& opts = sim.options();
+
+  // Queue-delay estimate from the live load snapshot, built to predict the
+  // *TTFT* this request would see. The prefill backlog is token-weighted
+  // (one K_in-sized prompt = one "equivalent request" of the capacity
+  // model, so a burst of heavy prompts counts for what it costs, not how
+  // many requests it is) and drains at the planned prefill rate. Decode
+  // lanes run concurrently: an occupied lane delays nobody until the lanes
+  // run out, so decode contributes only its overflow past the planned
+  // batch limit — counting every decoding request at 1/mu would swamp the
+  // backlog signal and steer whole bursts onto the instance with the
+  // deepest prefill queue but one free lane. The estimate is continuous in
+  // the backlog: plateaus of identical costs would collapse into the
+  // lowest-id tie-break and funnel whole bursts to one instance.
+  const double k_in = static_cast<double>(
+      std::max<std::size_t>(plan.planned_k_in, 1));
+  const double mu_pre = std::max(plan.service_rate_prefill, 1e-9);
+  const double mu_dec = std::max(plan.service_rate_decode, 1e-9);
+  const double backlog_reqs =
+      static_cast<double>(sim.prefill_backlog_tokens() +
+                          request.input_tokens) /
+      k_in;
+  const double decode_overflow =
+      static_cast<double>(sim.decode_load() + 1) -
+      static_cast<double>(plan.q_decode);
+  // Below the lane limit a decode occupant still costs a little: every
+  // extra batch member stretches the whole batch's step time, so charge a
+  // lightly-weighted interference term. It spreads near-tie traffic off
+  // the momentarily-cheapest instance (shallower batches, better TPOT and
+  // drain tail) but stays an order of magnitude under the serialization
+  // reading (1/mu_dec each), which would swamp the prefill-backlog signal.
+  const double queue_s =
+      backlog_reqs / mu_pre + std::max(0.0, decode_overflow) / mu_dec +
+      config_.decode_interference * static_cast<double>(sim.decode_load()) /
+          mu_dec;
+
+  // Decode-completion term: the request's predicted decode residence at the
+  // instance's planned TPOT (plans differ — a decode pool with more tensor
+  // parallelism steps faster). Down-weighted so it decides placement only
+  // when the load signals are flat: the fleet's drain tail is set by where
+  // the last long-output requests land, and parking one on the slowest
+  // decoder stretches the makespan long after every queue has emptied.
+  const double completion_s = config_.completion_weight *
+                              static_cast<double>(request.output_tokens) *
+                              plan.t_decode;
+
+  // KV-transfer latency over the current flow network: the request's
+  // per-GPU KV shard across the worst pairing path at the rate a new flow
+  // would be admitted at (pipelined stream: bottleneck fair share + fixed
+  // hop latencies). Fair share — not residual: under max-min sharing a
+  // saturated link admits a new flow at C/(n+1) by squeezing the others,
+  // while its residual reads zero, which would send every instance's
+  // estimate to infinity at once and collapse the comparison into the
+  // lowest-id tie-break — the exact herding the cost model exists to
+  // prevent.
+  double kv_s = 0.0;
+  const Bytes bytes = opts.model.kv_transfer_bytes_per_gpu(
+      request.input_tokens, plan.prefill.parallel.p_tens);
+  for (const topo::Path& path : inst.kv_paths) {
+    const topo::Graph& graph = network_->graph();
+    if (path.edges.empty()) continue;  // co-located pair
+    const Bandwidth bw = path.bottleneck(graph, fair_share);
+    Time latency = bw > 0 ? bytes / bw
+                          : std::numeric_limits<Time>::infinity();
+    for (topo::EdgeId e : path.edges) {
+      latency += graph.edge(e).latency;
+    }
+    kv_s = std::max(kv_s, latency);
+  }
+
+  return config_.queue_weight * queue_s + completion_s +
+         config_.kv_weight * kv_s;
+}
+
+double Router::cost(std::size_t id, const wl::Request& request) const {
+  return cost_with_fair_share(instances_.at(id), request,
+                              network_->fair_share_bandwidth());
+}
+
+std::size_t Router::route(const wl::Request& request) {
+  if (instances_.empty()) {
+    throw std::logic_error("Router::route: no instances registered");
+  }
+  std::size_t pick = 0;
+  switch (config_.policy) {
+    case RouterPolicy::kRoundRobin:
+      pick = next_rr_ % instances_.size();
+      ++next_rr_;
+      break;
+    case RouterPolicy::kRandom:
+      pick = static_cast<std::size_t>(rng_.uniform_int(instances_.size()));
+      break;
+    case RouterPolicy::kShortestQueue: {
+      // In-flight requests; ties break toward the lowest instance id
+      // (strict <), so dispatch is reproducible and order-independent.
+      std::size_t best = std::numeric_limits<std::size_t>::max();
+      for (std::size_t i = 0; i < instances_.size(); ++i) {
+        const ClusterSim& sim = *instances_[i].sim;
+        const std::size_t in_flight =
+            sim.submitted_count() - sim.retired_count();
+        if (in_flight < best) {
+          best = in_flight;
+          pick = i;
+        }
+      }
+      break;
+    }
+    case RouterPolicy::kHeroServe: {
+      const std::vector<Bandwidth> fair_share =
+          network_->fair_share_bandwidth();
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < instances_.size(); ++i) {
+        const double c =
+            cost_with_fair_share(instances_[i], request, fair_share);
+        if (c < best) {  // strict: identical costs keep the lowest id
+          best = c;
+          pick = i;
+        }
+      }
+      break;
+    }
+  }
+  ++dispatched_[pick];
+  if (obs::MetricsRegistry* m = network_->simulator().metrics()) {
+    m->counter("router.dispatched").add(1);
+  }
+  return pick;
+}
+
+}  // namespace hero::serve

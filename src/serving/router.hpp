@@ -1,0 +1,108 @@
+// Cluster-level request router for multi-instance serving.
+//
+// A fleet runs N replicated (prefill, decode) instances behind one
+// dispatcher; the router picks the instance for each arriving request.
+// Policies:
+//   * round-robin   — classic stateless rotation;
+//   * random        — seeded uniform choice (baseline for the bench);
+//   * shortest-queue — fewest in-flight requests (JSQ);
+//   * hero          — Eq. 16-style cost: estimated queue delay from the
+//     instance's live load snapshot, the request's predicted decode
+//     residence at the instance's planned TPOT, and the KV-transfer
+//     latency of this request over the *current* flow network (NetKV-style
+//     decode-aware selection). Cross-rack instances whose prefill->decode
+//     KV pairs ride congested oversubscribed uplinks price themselves out.
+//
+// Everything is deterministic under a fixed seed: ties are broken by the
+// lowest instance id, and the only randomness is the router's own Rng.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netsim/flownet.hpp"
+#include "serving/cluster_sim.hpp"
+#include "workload/trace.hpp"
+
+namespace hero::serve {
+
+enum class RouterPolicy : std::uint8_t {
+  kRoundRobin,
+  kRandom,
+  kShortestQueue,
+  kHeroServe,
+};
+
+[[nodiscard]] const char* to_string(RouterPolicy policy);
+/// Parse "rr" / "random" / "jsq" / "hero" (long names accepted too).
+[[nodiscard]] std::optional<RouterPolicy> parse_router_policy(
+    std::string_view name);
+
+struct RouterConfig {
+  RouterPolicy policy = RouterPolicy::kRoundRobin;
+  std::uint64_t seed = 1;
+  /// Weights of the two HeroServe cost terms (queue delay, KV transfer).
+  double queue_weight = 1.0;
+  double kv_weight = 1.0;
+  /// Marginal TPOT interference charged per occupied decode lane, as a
+  /// fraction of a full 1/mu_dec serialization step (decode lanes run
+  /// concurrently; a new batch member only stretches the shared step).
+  double decode_interference = 0.1;
+  /// Fraction of the request's predicted decode residence (output tokens x
+  /// the instance's planned TPOT) charged to the cost. Tilts long-output
+  /// requests toward fast-decode plans when queue signals are flat — the
+  /// drain-tail regime — without overriding backlog under load.
+  double completion_weight = 0.01;
+};
+
+class Router {
+ public:
+  Router(net::FlowNetwork& network, RouterConfig config);
+
+  /// Register an instance; returns its id (assignment order). The KV term
+  /// uses the instance's static prefill->decode pairing paths (same i ->
+  /// i * |dec| / |pre| mapping the serving simulator streams over),
+  /// evaluated against the network's live fair-share bandwidth at dispatch
+  /// time.
+  std::size_t add_instance(ClusterSim& instance);
+
+  /// Pick the instance for `request` (does not submit it).
+  [[nodiscard]] std::size_t route(const wl::Request& request);
+
+  /// HeroServe dispatch cost of `request` on instance `id` right now;
+  /// exposed for tests and the bench harness.
+  [[nodiscard]] double cost(std::size_t id, const wl::Request& request) const;
+
+  [[nodiscard]] std::size_t instance_count() const {
+    return instances_.size();
+  }
+  [[nodiscard]] const RouterConfig& config() const { return config_; }
+  /// Requests dispatched per instance so far.
+  [[nodiscard]] const std::vector<std::uint64_t>& dispatched() const {
+    return dispatched_;
+  }
+
+ private:
+  struct Instance {
+    ClusterSim* sim = nullptr;
+    /// Static shortest paths of the KV pairing (one per prefill GPU).
+    std::vector<topo::Path> kv_paths;
+  };
+
+  net::FlowNetwork* network_;
+  RouterConfig config_;
+  Rng rng_;
+  std::vector<Instance> instances_;
+  std::vector<std::uint64_t> dispatched_;
+  std::size_t next_rr_ = 0;
+
+  [[nodiscard]] double cost_with_fair_share(
+      const Instance& inst, const wl::Request& request,
+      const std::vector<Bandwidth>& fair_share) const;
+};
+
+}  // namespace hero::serve

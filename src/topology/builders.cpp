@@ -165,4 +165,57 @@ Graph make_tracks_cluster(const TracksOptions& opts) {
   return g;
 }
 
+Graph make_fleet_cluster(const FleetClusterOptions& opts) {
+  if (opts.racks <= 0 || opts.servers_per_rack <= 0 ||
+      opts.gpus_per_server <= 0 || opts.core_switches <= 0 ||
+      opts.oversubscription < 1.0) {
+    throw std::invalid_argument(
+        "make_fleet_cluster: sizes must be positive and "
+        "oversubscription >= 1");
+  }
+  Graph g;
+
+  std::vector<NodeId> cores;
+  cores.reserve(opts.core_switches);
+  for (std::int32_t c = 0; c < opts.core_switches; ++c) {
+    cores.push_back(g.add_switch(strfmt("core{}", c), NodeKind::kCoreSwitch,
+                                 opts.links.switch_agg_slots));
+  }
+
+  // Each rack's aggregate NIC bandwidth, cut by the oversubscription factor
+  // and split evenly over the core uplinks.
+  const double rack_nic_bw =
+      static_cast<double>(opts.servers_per_rack * opts.gpus_per_server) *
+      opts.links.ethernet;
+  const Bandwidth uplink_bw =
+      rack_nic_bw / (opts.oversubscription *
+                     static_cast<double>(opts.core_switches));
+
+  std::int32_t server_id = 0;
+  for (std::int32_t r = 0; r < opts.racks; ++r) {
+    const NodeId tor = g.add_switch(strfmt("rack{}", r),
+                                    NodeKind::kAccessSwitch,
+                                    opts.links.switch_agg_slots);
+    for (NodeId core : cores) {
+      g.add_edge(tor, core, LinkKind::kEthernet, uplink_bw,
+                 opts.links.ethernet_latency);
+    }
+    for (std::int32_t s = 0; s < opts.servers_per_rack; ++s) {
+      std::vector<NodeId> gpus;
+      gpus.reserve(opts.gpus_per_server);
+      for (std::int32_t i = 0; i < opts.gpus_per_server; ++i) {
+        const NodeId gpu =
+            g.add_gpu(strfmt("s{}g{}", server_id, i), opts.gpu_model,
+                      opts.gpu_memory, server_id);
+        gpus.push_back(gpu);
+        g.add_edge(gpu, tor, LinkKind::kEthernet, opts.links.ethernet,
+                   opts.links.ethernet_latency);
+      }
+      add_nvlink_mesh(g, gpus, opts.links);
+      ++server_id;
+    }
+  }
+  return g;
+}
+
 }  // namespace hero::topo

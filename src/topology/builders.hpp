@@ -75,4 +75,25 @@ struct TracksOptions {
 /// core switch. GPUs in one server form an NVLink clique.
 [[nodiscard]] Graph make_tracks_cluster(const TracksOptions& opts = {});
 
+struct FleetClusterOptions {
+  LinkSpec links;
+  std::int32_t racks = 4;             ///< R racks, one ToR switch each
+  std::int32_t servers_per_rack = 4;  ///< S servers under each ToR
+  std::int32_t gpus_per_server = 8;
+  std::int32_t core_switches = 2;
+  /// Rack uplink oversubscription: the ToR->core capacity is the rack's
+  /// aggregate GPU NIC bandwidth divided by this factor (split evenly over
+  /// the core switches). 1.0 = full bisection; datacenter racks typically
+  /// run 2:1-4:1, which is what makes cross-rack KV traffic interesting.
+  double oversubscription = 4.0;
+  GpuModel gpu_model = GpuModel::kA100_80;
+  Bytes gpu_memory = 80.0 * units::GB;
+};
+
+/// Rack-scale fleet fabric for multi-instance serving: R racks of S
+/// NVLink-clique servers, every GPU uplinked to its rack's ToR switch, ToRs
+/// wired to every core switch over oversubscribed uplinks. Server naming
+/// continues the s{}g{} idiom; ToRs are "rack{}", cores "core{}".
+[[nodiscard]] Graph make_fleet_cluster(const FleetClusterOptions& opts = {});
+
 }  // namespace hero::topo

@@ -1,0 +1,276 @@
+// Fleet serving tests: the fleet planner packs disjoint replicas, the
+// router is deterministic with stable lowest-id tie-breaking, and the
+// fleet pipeline serves whole traces reproducibly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "core/heroserve.hpp"
+
+namespace hero {
+namespace {
+
+planner::PlannerInputs base_inputs(const topo::Graph& graph,
+                                   const llm::ModelConfig& model) {
+  planner::PlannerInputs in;
+  in.graph = &graph;
+  in.model = model;
+  in.latency = &fitted_model(model);
+  in.k_in = 256;
+  in.k_in2 = 256 * 256 * 2;
+  in.k_out = 200;
+  in.arrival_rate = 2.0;
+  in.seed = 5;
+  return in;
+}
+
+std::vector<topo::NodeId> instance_gpus(const planner::PlanResult& plan) {
+  std::vector<topo::NodeId> gpus = plan.prefill.all_gpus();
+  const std::vector<topo::NodeId> dec = plan.decode.all_gpus();
+  gpus.insert(gpus.end(), dec.begin(), dec.end());
+  return gpus;
+}
+
+TEST(FleetPlanner, PacksDisjointInstances) {
+  const topo::Graph graph = topo::make_fleet_cluster();
+  planner::FleetPlannerInputs in;
+  in.base = base_inputs(graph, llm::opt_66b());
+  in.instances = 4;
+  planner::FleetPlanner fleet(in);
+  const planner::FleetPlan plan = fleet.plan();
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+  ASSERT_EQ(plan.instances.size(), 4u);
+
+  std::set<topo::NodeId> claimed;
+  std::size_t total = 0;
+  for (const planner::PlanResult& p : plan.instances) {
+    ASSERT_TRUE(p.feasible);
+    for (topo::NodeId g : instance_gpus(p)) {
+      EXPECT_TRUE(claimed.insert(g).second)
+          << "GPU " << g << " claimed by two instances";
+      ++total;
+    }
+  }
+  EXPECT_EQ(plan.gpus_used, total);
+  EXPECT_GT(plan.service_rate_prefill, 0.0);
+  EXPECT_GT(plan.service_rate_decode, 0.0);
+  EXPECT_DOUBLE_EQ(
+      plan.service_rate,
+      plan.instances[0].service_rate + plan.instances[1].service_rate +
+          plan.instances[2].service_rate + plan.instances[3].service_rate);
+}
+
+TEST(FleetPlanner, ReportsWhichInstanceFailed) {
+  // Two racks x one 8-GPU server cannot hold 64 replicas.
+  topo::FleetClusterOptions opts;
+  opts.racks = 2;
+  opts.servers_per_rack = 1;
+  const topo::Graph graph = topo::make_fleet_cluster(opts);
+  planner::FleetPlannerInputs in;
+  in.base = base_inputs(graph, llm::opt_66b());
+  in.instances = 64;
+  planner::FleetPlanner fleet(in);
+  const planner::FleetPlan plan = fleet.plan();
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.infeasible_reason.find("instance"), std::string::npos);
+  EXPECT_LT(plan.instances.size(), 64u);
+}
+
+TEST(FleetPlanner, DeterministicForSeed) {
+  const topo::Graph graph = topo::make_fleet_cluster();
+  planner::FleetPlannerInputs in;
+  in.base = base_inputs(graph, llm::opt_66b());
+  in.instances = 3;
+  const planner::FleetPlan a = planner::FleetPlanner(in).plan();
+  const planner::FleetPlan b = planner::FleetPlanner(in).plan();
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  ASSERT_EQ(a.instances.size(), b.instances.size());
+  for (std::size_t i = 0; i < a.instances.size(); ++i) {
+    EXPECT_EQ(instance_gpus(a.instances[i]), instance_gpus(b.instances[i]));
+  }
+}
+
+TEST(RouterPolicy, ParseRoundTrips) {
+  using serve::RouterPolicy;
+  for (RouterPolicy p :
+       {RouterPolicy::kRoundRobin, RouterPolicy::kRandom,
+        RouterPolicy::kShortestQueue, RouterPolicy::kHeroServe}) {
+    const auto parsed = serve::parse_router_policy(serve::to_string(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(serve::parse_router_policy("nonsense").has_value());
+}
+
+/// Two idle single-server instances (one per rack). Greedy packing hands
+/// instance 0 the larger decode pool (6 GPUs vs 4) — every other plan
+/// dimension matches — so with the decode-completion term zeroed every
+/// policy cost ties and the router must break toward the lowest instance
+/// id, and keep doing so until load differentiates the instances.
+class RouterTieBreak : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo::FleetClusterOptions opts;
+    opts.racks = 2;
+    opts.servers_per_rack = 1;
+    graph_ = topo::make_fleet_cluster(opts);
+    planner::FleetPlannerInputs in;
+    in.base = base_inputs(graph_, llm::opt_66b());
+    in.instances = 2;
+    planner::FleetPlan plan = planner::FleetPlanner(in).plan();
+    ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+    plan_ = std::move(plan);
+
+    simulator_ = std::make_unique<sim::Simulator>();
+    network_ = std::make_unique<net::FlowNetwork>(*simulator_, graph_);
+    switches_ = std::make_unique<sw::SwitchRegistry>(*simulator_, graph_);
+    engine_ = std::make_unique<coll::CollectiveEngine>(
+        *network_, *switches_, coll::EngineConfig{});
+    scheduler_ = std::make_unique<baselines::StaticCommScheduler>(
+        *network_, baselines::BaselineKind::kDistServe);
+  }
+
+  std::unique_ptr<serve::FleetSim> make_fleet(
+      serve::RouterPolicy policy,
+      std::optional<double> completion_weight = std::nullopt) {
+    serve::RouterConfig rc;
+    rc.policy = policy;
+    if (completion_weight) rc.completion_weight = *completion_weight;
+    auto fleet = std::make_unique<serve::FleetSim>(*network_, *engine_, rc);
+    for (const planner::PlanResult& p : plan_.instances) {
+      serve::ServingOptions opts;
+      opts.model = llm::opt_66b();
+      fleet->add_instance(*scheduler_, p, opts);
+    }
+    return fleet;
+  }
+
+  static wl::Request request() {
+    wl::Request r;
+    r.id = 0;
+    r.arrival = 0.0;
+    r.input_tokens = 256;
+    r.output_tokens = 64;
+    return r;
+  }
+
+  topo::Graph graph_;
+  planner::FleetPlan plan_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<net::FlowNetwork> network_;
+  std::unique_ptr<sw::SwitchRegistry> switches_;
+  std::unique_ptr<coll::CollectiveEngine> engine_;
+  std::unique_ptr<baselines::StaticCommScheduler> scheduler_;
+};
+
+TEST_F(RouterTieBreak, HeroCostTiesResolveToLowestId) {
+  // The decode-completion term alone tells the idle instances apart (their
+  // planned TPOTs differ); zero it to force a genuine tie across every
+  // remaining cost term.
+  const auto fleet = make_fleet(serve::RouterPolicy::kHeroServe,
+                                /*completion_weight=*/0.0);
+  const wl::Request r = request();
+  EXPECT_DOUBLE_EQ(fleet->router().cost(0, r), fleet->router().cost(1, r));
+  // Idle fleet: every route is a tie and must stick to instance 0.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(fleet->router().route(r), 0u);
+}
+
+TEST_F(RouterTieBreak, HeroPrefersFasterDecodePlanWhenIdle) {
+  // With the default completion weight, the idle cost prices the request's
+  // predicted decode residence: instance 0's larger decode pool steps
+  // faster, so it wins outright rather than by tie-break.
+  const auto fleet = make_fleet(serve::RouterPolicy::kHeroServe);
+  const wl::Request r = request();
+  EXPECT_LT(fleet->router().cost(0, r), fleet->router().cost(1, r));
+  EXPECT_EQ(fleet->router().route(r), 0u);
+}
+
+TEST_F(RouterTieBreak, ShortestQueueTiesResolveToLowestId) {
+  const auto fleet = make_fleet(serve::RouterPolicy::kShortestQueue);
+  const wl::Request r = request();
+  EXPECT_EQ(fleet->router().route(r), 0u);
+  // Loading instance 0 breaks the tie the other way.
+  fleet->instance(0).begin();
+  fleet->instance(1).begin();
+  fleet->instance(0).submit(r);
+  EXPECT_EQ(fleet->router().route(r), 1u);
+}
+
+TEST_F(RouterTieBreak, RoundRobinRotates) {
+  const auto fleet = make_fleet(serve::RouterPolicy::kRoundRobin);
+  const wl::Request r = request();
+  EXPECT_EQ(fleet->router().route(r), 0u);
+  EXPECT_EQ(fleet->router().route(r), 1u);
+  EXPECT_EQ(fleet->router().route(r), 0u);
+  EXPECT_EQ(fleet->router().dispatched()[0], 2u);
+  EXPECT_EQ(fleet->router().dispatched()[1], 1u);
+}
+
+ExperimentConfig fleet_config(std::size_t instances,
+                              serve::RouterPolicy policy) {
+  ExperimentConfig cfg;
+  cfg.topology = topo::make_fleet_cluster();
+  cfg.serving.model = llm::opt_66b();
+  cfg.workload.rate = 2.0;
+  cfg.workload.count = 24;
+  cfg.workload.lengths = wl::sharegpt_lengths();
+  cfg.workload.seed = 11;
+  cfg.serving.sla_ttft = 2.5;
+  cfg.serving.sla_tpot = 0.15;
+  cfg.fleet.instances = instances;
+  cfg.fleet.router.policy = policy;
+  return cfg;
+}
+
+TEST(FleetExperiment, ServesWholeTraceAcrossInstances) {
+  const ExperimentConfig cfg =
+      fleet_config(2, serve::RouterPolicy::kHeroServe);
+  const FleetExperimentResult r =
+      run_fleet_experiment(SystemKind::kHeroServe, cfg);
+  ASSERT_TRUE(r.ok()) << r.plan.infeasible_reason;
+  EXPECT_EQ(r.report.aggregate.submitted, 24u);
+  EXPECT_EQ(r.report.aggregate.completed, 24u);
+  ASSERT_EQ(r.report.per_instance.size(), 2u);
+  ASSERT_EQ(r.report.dispatched.size(), 2u);
+  EXPECT_EQ(r.report.dispatched[0] + r.report.dispatched[1], 24u);
+  std::size_t per_instance_completed = 0;
+  for (const serve::ServingReport& rep : r.report.per_instance) {
+    per_instance_completed += rep.completed;
+  }
+  EXPECT_EQ(per_instance_completed, 24u);
+}
+
+TEST(FleetExperiment, DeterministicForSeed) {
+  for (serve::RouterPolicy policy :
+       {serve::RouterPolicy::kRandom, serve::RouterPolicy::kHeroServe}) {
+    const ExperimentConfig cfg = fleet_config(2, policy);
+    const FleetExperimentResult a =
+        run_fleet_experiment(SystemKind::kHeroServe, cfg);
+    const FleetExperimentResult b =
+        run_fleet_experiment(SystemKind::kHeroServe, cfg);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.report.dispatched, b.report.dispatched);
+    EXPECT_DOUBLE_EQ(a.report.aggregate.makespan,
+                     b.report.aggregate.makespan);
+    EXPECT_DOUBLE_EQ(a.report.aggregate.ttft.p90(),
+                     b.report.aggregate.ttft.p90());
+  }
+}
+
+TEST(FleetExperiment, RoundRobinDispatchIsEven) {
+  const ExperimentConfig cfg =
+      fleet_config(2, serve::RouterPolicy::kRoundRobin);
+  const FleetExperimentResult r =
+      run_fleet_experiment(SystemKind::kHeroServe, cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.report.dispatched[0], 12u);
+  EXPECT_EQ(r.report.dispatched[1], 12u);
+  EXPECT_DOUBLE_EQ(r.report.dispatch_imbalance, 0.0);
+}
+
+}  // namespace
+}  // namespace hero

@@ -263,7 +263,7 @@ TEST(Plan, FeasibleOnTestbed) {
   EXPECT_LE(result.t_decode, 0.15);
   EXPECT_GT(result.throughput_h, 0.0);
   EXPECT_GT(result.candidates_evaluated, 0u);
-  EXPECT_GT(result.solve_seconds, 0.0);
+  EXPECT_GT(result.solve_work_units, 0u);
   // Deployment shapes match the parallelism config.
   EXPECT_EQ(result.prefill.stages.size(), result.prefill.parallel.p_pipe);
   for (const GroupPlan& s : result.prefill.stages) {

@@ -78,6 +78,33 @@ for seed in "${SEEDS[@]}"; do
   if [ "$FAIL" -eq 0 ]; then
     echo "determinism_check: seed=$seed chaos OK (stdout + trace byte-identical)"
   fi
+
+  # Fleet phase: multi-instance serving behind the HeroServe router. The
+  # router's cost reads live queue depths and fair-share bandwidth, so this
+  # gate catches any dispatch-order or tie-break nondeterminism the
+  # single-instance path cannot exercise.
+  for run in 1 2; do
+    mkdir -p "$WORK/fleet-$seed-$run"
+    ( cd "$WORK/fleet-$seed-$run" &&
+      "$QUICKSTART" "$RATE" "$REQUESTS" --seed "$seed" \
+          --instances 4 --router hero --trace trace.json > stdout.txt )
+  done
+  if ! cmp -s "$WORK/fleet-$seed-1/stdout.txt" "$WORK/fleet-$seed-2/stdout.txt"; then
+    echo "determinism_check: FAIL seed=$seed fleet stdout differs between runs" >&2
+    diff "$WORK/fleet-$seed-1/stdout.txt" "$WORK/fleet-$seed-2/stdout.txt" | head -20 >&2 || true
+    FAIL=1
+  fi
+  if ! cmp -s "$WORK/fleet-$seed-1/trace.json" "$WORK/fleet-$seed-2/trace.json"; then
+    echo "determinism_check: FAIL seed=$seed fleet trace JSON differs between runs" >&2
+    FAIL=1
+  fi
+  if ! grep -q "^fleet goodput" "$WORK/fleet-$seed-1/stdout.txt"; then
+    echo "determinism_check: FAIL seed=$seed fleet run printed no fleet summary" >&2
+    FAIL=1
+  fi
+  if [ "$FAIL" -eq 0 ]; then
+    echo "determinism_check: seed=$seed fleet OK (stdout + trace byte-identical)"
+  fi
 done
 
 if [ "$FAIL" -ne 0 ]; then
