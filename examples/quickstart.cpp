@@ -117,11 +117,15 @@ int main(int argc, char** argv) {
   const cli::Options opts = cli::parse_args(
       argc, argv,
       "quickstart [rate] [requests] [--seed N] [--trace out.json] "
-      "[--faults plan.json] [--instances N] [--router rr|random|jsq|hero]");
+      "[--faults plan.json] [--instances N] [--router rr|random|jsq|hero] "
+      "[--full-solve]");
   const double rate = cli::positional_double(opts, 0, 2.0);
   const std::size_t requests = cli::positional_size(opts, 1, 80);
 
   ExperimentConfig cfg;
+  // --full-solve swaps the incremental max-min engine for the whole-fabric
+  // solve; output must be byte-identical (the determinism gate diffs them).
+  cfg.netsim.full_solve = opts.full_solve;
   cfg.topology = topo::make_testbed();
   cfg.serving.model = llm::opt_66b();
   cfg.workload.rate = rate;

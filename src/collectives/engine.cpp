@@ -1,6 +1,7 @@
 #include "collectives/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/check.hpp"
@@ -519,14 +520,13 @@ Router shortest_path_router(const topo::Graph& g,
 }
 
 std::vector<topo::NodeId> rank_aggregation_switches(
-    const topo::Graph& g, const std::vector<topo::NodeId>& members,
-    topo::PathConstraints constraints, std::size_t count) {
+    const topo::PathOracle& oracle, const std::vector<topo::NodeId>& members,
+    std::size_t count) {
   struct Scored {
     topo::NodeId sw = topo::kInvalidNode;
     Time score = 0.0;
   };
-  topo::PathOptions opts;
-  opts.constraints = constraints;
+  const topo::Graph& g = oracle.graph();
   std::vector<Scored> scored;
   for (topo::NodeId sw : g.switches()) {
     if (g.node(sw).agg_slots <= 0) continue;
@@ -536,12 +536,11 @@ std::vector<topo::NodeId> rank_aggregation_switches(
     Time total = 0.0;
     bool reachable = true;
     for (topo::NodeId m : members) {
-      auto p = topo::shortest_path(g, m, sw, opts);
-      if (!p) {
+      const Time lat = oracle.latency(m, sw, 1.0 * units::MiB);
+      if (std::isinf(lat)) {
         reachable = false;
         break;
       }
-      const Time lat = p->latency(g, 1.0 * units::MiB);
       worst = std::max(worst, lat);
       total += lat;
     }
@@ -555,6 +554,17 @@ std::vector<topo::NodeId> rank_aggregation_switches(
     out.push_back(s.sw);
   }
   return out;
+}
+
+std::vector<topo::NodeId> rank_aggregation_switches(
+    const topo::Graph& g, const std::vector<topo::NodeId>& members,
+    topo::PathConstraints constraints, std::size_t count) {
+  topo::PathOptions opts;
+  opts.constraints = constraints;
+  // One Dijkstra per distinct member instead of one per (member, switch):
+  // the oracle memoizes per-source solves within this election.
+  const topo::PathOracle oracle(g, opts);
+  return rank_aggregation_switches(oracle, members, count);
 }
 
 }  // namespace hero::coll

@@ -171,7 +171,13 @@ class CollectiveEngine {
 /// Aggregation-switch election: switches with aggregator slots, ranked by
 /// total shortest-path latency (1 MiB reference) to `members`; at most
 /// `count` returned. Used by the offline planner (Alg. 2 step 2), the
-/// online policy builder, and the INA baselines.
+/// online policy builder, and the INA baselines. The oracle overload is the
+/// fast path: a caller-owned topo::PathOracle amortizes the per-member
+/// Dijkstra across every election it runs (the planner scores tens of
+/// thousands of candidate groups against the same graph).
+[[nodiscard]] std::vector<topo::NodeId> rank_aggregation_switches(
+    const topo::PathOracle& oracle, const std::vector<topo::NodeId>& members,
+    std::size_t count);
 [[nodiscard]] std::vector<topo::NodeId> rank_aggregation_switches(
     const topo::Graph& g, const std::vector<topo::NodeId>& members,
     topo::PathConstraints constraints, std::size_t count);

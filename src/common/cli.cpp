@@ -41,6 +41,8 @@ Options parse_args(int& argc, char** argv, const char* usage) {
       opts.router = value("--router");
     } else if (std::strcmp(a, "--quick") == 0) {
       opts.quick = true;
+    } else if (std::strcmp(a, "--full-solve") == 0) {
+      opts.full_solve = true;
     } else {
       if (a[0] != '-') opts.positional.emplace_back(a);
       argv[out++] = argv[i];  // pass through (benchmark flags, positionals)

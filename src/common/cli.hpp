@@ -8,6 +8,7 @@
 //   --instances N      fleet size (multi-instance serving)
 //   --router NAME      fleet dispatch policy (rr | random | jsq | hero)
 //   --quick            reduced-size run (smoke-test mode)
+//   --full-solve       whole-fabric max-min each round (equivalence gate)
 //   --help             print the binary's usage string and exit 0
 // — plus positional argument collection. Recognized flags are *removed*
 // from argv (argc is updated) so harnesses can hand the remainder to
@@ -30,6 +31,7 @@ struct Options {
   std::size_t instances = 1;   ///< --instances (fleet size; 1 = single)
   std::string router;          ///< --router policy name; empty = default
   bool quick = false;          ///< --quick smoke-test mode
+  bool full_solve = false;     ///< --full-solve (incremental-engine check)
   std::vector<std::string> positional;
 };
 

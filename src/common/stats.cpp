@@ -113,6 +113,13 @@ double TimeWeighted::average() const {
   return dur > 0.0 ? weighted_sum_ / dur : current_;
 }
 
+double TimeWeighted::average_until(Time now) const {
+  if (!started_ || now <= last_time_) return average();
+  const Time dur = now - first_time_;
+  const double sum = weighted_sum_ + current_ * (now - last_time_);
+  return dur > 0.0 ? sum / dur : current_;
+}
+
 // --- Histogram ---
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)

@@ -96,6 +96,12 @@ class TimeWeighted {
   void observe(Time now, double value);
 
   [[nodiscard]] double average() const;
+  /// Average with the current value extended through `now`. The incremental
+  /// flow engine only observes a signal when it *changes*, so the plain
+  /// average() denominator would stop at the last change; this closes the
+  /// window at the caller's clock instead. `now` earlier than the last
+  /// observation falls back to average().
+  [[nodiscard]] double average_until(Time now) const;
   [[nodiscard]] double peak() const { return peak_; }
   [[nodiscard]] double current() const { return current_; }
   [[nodiscard]] Time duration() const { return last_time_ - first_time_; }

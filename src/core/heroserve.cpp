@@ -122,6 +122,23 @@ std::unique_ptr<faults::FaultInjector> arm_faults(
   return injector;
 }
 
+void apply_netsim_options(net::FlowNetwork& network,
+                          const ExperimentConfig& cfg) {
+  network.set_full_solve(cfg.netsim.full_solve);
+  if (cfg.netsim.validate_solves) network.set_solve_validation(true);
+}
+
+SimStats collect_sim_stats(const sim::Simulator& simulator,
+                           const net::FlowNetwork& network) {
+  SimStats stats;
+  stats.sim_seconds = simulator.now();
+  stats.events_executed = simulator.executed_events();
+  stats.events_scheduled = simulator.scheduled_events();
+  stats.events_cancelled = simulator.cancelled_events();
+  stats.flownet = network.stats();
+  return stats;
+}
+
 }  // namespace
 
 ExperimentResult run_experiment(SystemKind kind,
@@ -142,6 +159,7 @@ ExperimentResult run_experiment(SystemKind kind,
   sim::Simulator simulator;
   simulator.attach(cfg.sink);
   net::FlowNetwork network(simulator, cfg.topology);
+  apply_netsim_options(network, cfg);
   sw::SwitchRegistry switches(simulator, cfg.topology);
   coll::CollectiveEngine engine(network, switches, cfg.engine);
 
@@ -166,6 +184,7 @@ ExperimentResult run_experiment(SystemKind kind,
                             serving);
   scheduler->start();
   result.report = cluster.run(trace);
+  result.sim_stats = collect_sim_stats(simulator, network);
   return result;
 }
 
@@ -189,6 +208,7 @@ FleetExperimentResult run_fleet_experiment(SystemKind kind,
   sim::Simulator simulator;
   simulator.attach(cfg.sink);
   net::FlowNetwork network(simulator, cfg.topology);
+  apply_netsim_options(network, cfg);
   sw::SwitchRegistry switches(simulator, cfg.topology);
   coll::CollectiveEngine engine(network, switches, cfg.engine);
 
@@ -222,6 +242,7 @@ FleetExperimentResult run_fleet_experiment(SystemKind kind,
 
   scheduler->start();
   result.report = fleet.run(trace);
+  result.sim_stats = collect_sim_stats(simulator, network);
   return result;
 }
 

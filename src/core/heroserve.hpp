@@ -83,11 +83,35 @@ struct ExperimentConfig {
     bool balance_stage_rates = true;
   };
   FleetOptions fleet;
+
+  /// Flow-network engine knobs (equivalence gates and validate runs).
+  struct NetsimOptions {
+    /// Whole-fabric max-min solve every round instead of the incremental
+    /// dirty-set solve. Output is byte-identical; only speed differs.
+    bool full_solve = false;
+    /// Cross-check every incremental round against a full solve (on by
+    /// default in HERO_VALIDATE builds regardless of this flag).
+    bool validate_solves = false;
+  };
+  NetsimOptions netsim;
+};
+
+/// Engine-side totals of one run: how much simulated time one wall-second
+/// buys is bench_simspeed's headline, and the flownet counters show how much
+/// max-min work the incremental engine avoided. Deterministic for a given
+/// config (wall-clock time is deliberately *not* in here).
+struct SimStats {
+  Time sim_seconds = 0.0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_cancelled = 0;
+  net::FlowNetStats flownet;
 };
 
 struct ExperimentResult {
   planner::PlanResult plan;
   serve::ServingReport report;
+  SimStats sim_stats;
   [[nodiscard]] bool ok() const { return plan.feasible; }
 };
 
@@ -104,6 +128,7 @@ struct ExperimentResult {
 struct FleetExperimentResult {
   planner::FleetPlan plan;
   serve::FleetReport report;
+  SimStats sim_stats;
   [[nodiscard]] bool ok() const { return plan.feasible; }
 };
 

@@ -9,10 +9,7 @@ namespace hero::sim {
 
 EventId Simulator::schedule(Time at, Callback cb) {
   if (at < now_) throw std::invalid_argument("Simulator: event in the past");
-  const EventId id = next_id_++;
-  queue_.push(Event{at, id, std::move(cb)});
-  pending_ids_.insert(id);
-  return id;
+  return queue_.push(at, next_seq_++, std::move(cb));
 }
 
 EventId Simulator::schedule_in(Time delay, Callback cb) {
@@ -22,29 +19,20 @@ EventId Simulator::schedule_in(Time delay, Callback cb) {
 void Simulator::cancel(EventId id) {
   // Only events that are actually pending can be cancelled; stale or bogus
   // ids are ignored so pending_events() stays exact.
-  if (pending_ids_.erase(id) > 0) cancelled_.insert(id);
+  if (queue_.cancel(id)) ++cancelled_;
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    pending_ids_.erase(ev.id);
-    // The calendar executes in (time, insertion) order; time running
-    // backwards means the comparator or an in-callback mutation broke the
-    // deterministic ordering contract.
-    HERO_INVARIANT(ev.at >= now_, "event {} at t={} before now={}", ev.id,
-                   ev.at, now_);
-    now_ = ev.at;
-    ++executed_;
-    ev.cb();
-    return true;
-  }
-  return false;
+  if (queue_.empty()) return false;
+  auto [at, cb] = queue_.pop();
+  // The calendar executes in (time, insertion) order; time running
+  // backwards means the heap or an in-callback mutation broke the
+  // deterministic ordering contract.
+  HERO_INVARIANT(at >= now_, "event at t={} before now={}", at, now_);
+  now_ = at;
+  ++executed_;
+  cb();
+  return true;
 }
 
 void Simulator::run() {
@@ -53,16 +41,10 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(Time t) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.at > t) break;
+  while (!queue_.empty() && queue_.top_time() <= t) {
     step();
   }
   if (t > now_) now_ = t;
-}
-
-std::size_t Simulator::pending_events() const {
-  return pending_ids_.size();
 }
 
 }  // namespace hero::sim

@@ -5,21 +5,21 @@
 // time" — flow completions, compute kernels, controller sync periods,
 // request arrivals — is an event on one Simulator instance, which makes runs
 // fully deterministic for a given seed.
+//
+// The calendar is an indexed pooled heap (see event_queue.hpp): cancel()
+// is a true O(log n) removal instead of a tombstone, and slots are
+// recycled, so the cancel/reschedule storms the flow network generates on
+// every rate change cost neither allocation nor dead-event churn.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
 #include "common/units.hpp"
+#include "netsim/event_queue.hpp"
 #include "obs/sink.hpp"
 
 namespace hero::sim {
-
-using EventId = std::uint64_t;
-inline constexpr EventId kInvalidEvent = 0;
 
 class Simulator {
  public:
@@ -42,8 +42,12 @@ class Simulator {
   /// Run events with time <= t, then set now() = t.
   void run_until(Time t);
 
-  [[nodiscard]] std::size_t pending_events() const;
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  /// Lifetime schedule() calls (fired + cancelled + still pending).
+  [[nodiscard]] std::uint64_t scheduled_events() const { return next_seq_ - 1; }
+  /// Lifetime successful cancel() calls.
+  [[nodiscard]] std::uint64_t cancelled_events() const { return cancelled_; }
 
   // --- observability ---
   //
@@ -59,25 +63,12 @@ class Simulator {
   }
 
  private:
-  struct Event {
-    Time at = 0.0;
-    EventId id = kInvalidEvent;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;  // FIFO among same-time events
-    }
-  };
-
   Time now_ = 0.0;
   obs::Sink sink_;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;  ///< FIFO tie-break among same-time events
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> pending_ids_;
-  std::unordered_set<EventId> cancelled_;
+  std::uint64_t cancelled_ = 0;
+  EventQueue queue_;
 };
 
 }  // namespace hero::sim

@@ -313,8 +313,11 @@ coll::AllReducePlan HeroCommScheduler::all_reduce_plan(GroupId group,
 topo::Path HeroCommScheduler::unicast_path(topo::NodeId src,
                                            topo::NodeId dst) {
   // Load-aware route choice among edge-diverse alternates: pick the one
-  // whose current bottleneck residual bandwidth is largest.
-  const auto residual = network_->residual_bandwidth();
+  // whose bottleneck residual bandwidth is largest right now. Each probe is
+  // one O(hops) estimate_path() walk over the live link indexes — and
+  // direction-aware, so a link loaded only in the opposite direction no
+  // longer penalizes a route (the old per-edge residual vector took the
+  // busier direction of every edge).
   auto alts = topo::alternate_paths(network_->graph(), src, dst, 3,
                                     hetero_opts(build_.heterogeneous));
   if (alts.empty()) {
@@ -323,7 +326,7 @@ topo::Path HeroCommScheduler::unicast_path(topo::NodeId src,
   const topo::Path* best = &alts.front();
   Bandwidth best_bw = 0.0;
   for (const topo::Path& p : alts) {
-    const Bandwidth bw = p.bottleneck(network_->graph(), residual);
+    const Bandwidth bw = network_->estimate_path(p).residual;
     if (bw > best_bw) {
       best_bw = bw;
       best = &p;

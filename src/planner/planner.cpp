@@ -102,6 +102,13 @@ OfflinePlanner::OfflinePlanner(PlannerInputs inputs) : in_(std::move(inputs)) {
                           std::max<std::size_t>(in_.k_in, 1)),
                       64.0 * units::KiB);
   paths_.emplace(*in_.graph, std::move(terminals), opts);
+
+  // The aggregation-switch elections use the default 1 MiB reference (the
+  // election is a route-quality ranking, not a volume estimate), so the
+  // oracle gets its own options rather than the path store's.
+  topo::PathOptions election;
+  election.constraints = constraints_for(in_.heterogeneous);
+  oracle_.emplace(*in_.graph, election);
 }
 
 const topo::PathStore& OfflinePlanner::paths() const { return *paths_; }
@@ -259,8 +266,7 @@ GroupPlan OfflinePlanner::score_group(const std::vector<topo::NodeId>& gpus,
   // constraints").
   Time t_ina = std::numeric_limits<Time>::infinity();
   topo::NodeId best_switch = topo::kInvalidNode;
-  const auto switches = coll::rank_aggregation_switches(
-      g, wide, constraints_for(in_.heterogeneous), 1);
+  const auto switches = coll::rank_aggregation_switches(*oracle_, wide, 1);
   if (!switches.empty()) {
     best_switch = switches.front();
     t_ina = wide_ina_latency(best_switch);

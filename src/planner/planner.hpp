@@ -162,6 +162,9 @@ class OfflinePlanner {
 
   PlannerInputs in_;
   std::optional<topo::PathStore> paths_;
+  /// Memoized per-source Dijkstra shared by every aggregation-switch
+  /// election score_group() runs (one solve per distinct member, total).
+  std::optional<topo::PathOracle> oracle_;
 
   /// `q_dec` sizes the decode cluster's batch-dependent terms (context
   /// tokens and sync volumes); ignored for prefill.

@@ -435,19 +435,20 @@ void ClusterSim::begin() { record_kv(simulator().now()); }
 
 void ClusterSim::submit(const wl::Request& request) { on_arrival(request); }
 
-std::size_t ClusterSim::prefill_load() const {
-  return prefill_queue_.size() +
-         (prefill_running_ ? prefill_running_->requests.size() : 0);
-}
-
-std::size_t ClusterSim::prefill_backlog_tokens() const {
-  std::size_t tokens = prefill_running_ ? prefill_running_->k_in : 0;
-  for (const auto& ar : prefill_queue_) tokens += ar->req.input_tokens;
-  return tokens;
-}
-
-std::size_t ClusterSim::decode_load() const {
-  return decode_wait_queue_.size() + decoding_.size();
+LoadSnapshot ClusterSim::load() const {
+  LoadSnapshot snap;
+  snap.prefill_requests =
+      prefill_queue_.size() +
+      (prefill_running_ ? prefill_running_->requests.size() : 0);
+  snap.prefill_backlog_tokens = prefill_running_ ? prefill_running_->k_in : 0;
+  for (const auto& ar : prefill_queue_) {
+    snap.prefill_backlog_tokens += ar->req.input_tokens;
+  }
+  snap.decode_requests = decode_wait_queue_.size() + decoding_.size();
+  snap.in_flight = submitted_ - retired_.size();
+  snap.kv_used = kv_used_;
+  snap.kv_budget = kv_budget_;
+  return snap;
 }
 
 ServingReport ClusterSim::report(std::size_t expected) const {

@@ -64,6 +64,21 @@ struct KvSample {
   double utilization = 0.0;
 };
 
+/// Point-in-time load of one serving instance — everything a router policy
+/// or fleet aggregator reads, sampled in a single call (ClusterSim::load()).
+struct LoadSnapshot {
+  /// Requests waiting for or inside the prefill pipeline.
+  std::size_t prefill_requests = 0;
+  /// Input tokens queued ahead of a new arrival (incl. the running batch).
+  std::size_t prefill_backlog_tokens = 0;
+  /// Requests waiting for or holding decode slots.
+  std::size_t decode_requests = 0;
+  /// Submitted but not yet retired (the JSQ signal).
+  std::size_t in_flight = 0;
+  Bytes kv_used = 0;
+  Bytes kv_budget = 0;
+};
+
 struct ServingReport {
   std::size_t submitted = 0;
   std::size_t completed = 0;
@@ -121,12 +136,11 @@ class ClusterSim {
   [[nodiscard]] ServingReport report(std::size_t expected) const;
 
   // --- load snapshot (router inputs) -----------------------------------
-  /// Requests waiting for or inside the prefill pipeline.
-  [[nodiscard]] std::size_t prefill_load() const;
-  /// Input tokens queued ahead of a new arrival (incl. the running batch).
-  [[nodiscard]] std::size_t prefill_backlog_tokens() const;
-  /// Requests waiting for or holding decode slots.
-  [[nodiscard]] std::size_t decode_load() const;
+  /// One-call snapshot of this instance's live load. Router policies and
+  /// FleetSim read the whole struct instead of a sprawl of accessors, so a
+  /// policy can't mix signals sampled at different instants and a new
+  /// signal is one field, not another method on every instance type.
+  [[nodiscard]] LoadSnapshot load() const;
   [[nodiscard]] Bytes kv_used() const { return kv_used_; }
   [[nodiscard]] Bytes kv_budget() const { return kv_budget_; }
   [[nodiscard]] const planner::PlanResult& plan() const { return plan_; }

@@ -91,8 +91,9 @@ FleetReport FleetSim::run(const wl::Trace& trace) {
                              static_cast<double>(rep.submitted));
     agg.kv_utilization_peak =
         std::max(agg.kv_utilization_peak, rep.kv_utilization_peak);
-    kv_avg_weighted += rep.kv_utilization_avg * inst->kv_budget();
-    kv_budget_total += inst->kv_budget();
+    const LoadSnapshot load = inst->load();
+    kv_avg_weighted += rep.kv_utilization_avg * load.kv_budget;
+    kv_budget_total += load.kv_budget;
     fleet.per_instance.push_back(std::move(rep));
   }
   agg.sla_attainment =

@@ -55,12 +55,12 @@ std::size_t Router::add_instance(ClusterSim& instance) {
   return instances_.size() - 1;
 }
 
-double Router::cost_with_fair_share(
-    const Instance& inst, const wl::Request& request,
-    const std::vector<Bandwidth>& fair_share) const {
+double Router::cost_for(const Instance& inst,
+                        const wl::Request& request) const {
   const ClusterSim& sim = *inst.sim;
   const planner::PlanResult& plan = sim.plan();
   const ServingOptions& opts = sim.options();
+  const LoadSnapshot load = sim.load();
 
   // Queue-delay estimate from the live load snapshot, built to predict the
   // *TTFT* this request would see. The prefill backlog is token-weighted
@@ -79,11 +79,11 @@ double Router::cost_with_fair_share(
   const double mu_pre = std::max(plan.service_rate_prefill, 1e-9);
   const double mu_dec = std::max(plan.service_rate_decode, 1e-9);
   const double backlog_reqs =
-      static_cast<double>(sim.prefill_backlog_tokens() +
+      static_cast<double>(load.prefill_backlog_tokens +
                           request.input_tokens) /
       k_in;
   const double decode_overflow =
-      static_cast<double>(sim.decode_load() + 1) -
+      static_cast<double>(load.decode_requests + 1) -
       static_cast<double>(plan.q_decode);
   // Below the lane limit a decode occupant still costs a little: every
   // extra batch member stretches the whole batch's step time, so charge a
@@ -93,8 +93,8 @@ double Router::cost_with_fair_share(
   // reading (1/mu_dec each), which would swamp the prefill-backlog signal.
   const double queue_s =
       backlog_reqs / mu_pre + std::max(0.0, decode_overflow) / mu_dec +
-      config_.decode_interference * static_cast<double>(sim.decode_load()) /
-          mu_dec;
+      config_.decode_interference *
+          static_cast<double>(load.decode_requests) / mu_dec;
 
   // Decode-completion term: the request's predicted decode residence at the
   // instance's planned TPOT (plans differ — a decode pool with more tensor
@@ -108,25 +108,23 @@ double Router::cost_with_fair_share(
 
   // KV-transfer latency over the current flow network: the request's
   // per-GPU KV shard across the worst pairing path at the rate a new flow
-  // would be admitted at (pipelined stream: bottleneck fair share + fixed
-  // hop latencies). Fair share — not residual: under max-min sharing a
-  // saturated link admits a new flow at C/(n+1) by squeezing the others,
-  // while its residual reads zero, which would send every instance's
-  // estimate to infinity at once and collapse the comparison into the
-  // lowest-id tie-break — the exact herding the cost model exists to
-  // prevent.
+  // would be admitted at (pipelined stream: PathEstimate's post-admission
+  // fair share + fixed hop latencies). Fair share — not residual: under
+  // max-min sharing a saturated link admits a new flow at C/(n+1) by
+  // squeezing the others, while its residual reads zero, which would send
+  // every instance's estimate to infinity at once and collapse the
+  // comparison into the lowest-id tie-break — the exact herding the cost
+  // model exists to prevent.
   double kv_s = 0.0;
   const Bytes bytes = opts.model.kv_transfer_bytes_per_gpu(
       request.input_tokens, plan.prefill.parallel.p_tens);
   for (const topo::Path& path : inst.kv_paths) {
-    const topo::Graph& graph = network_->graph();
     if (path.edges.empty()) continue;  // co-located pair
-    const Bandwidth bw = path.bottleneck(graph, fair_share);
-    Time latency = bw > 0 ? bytes / bw
-                          : std::numeric_limits<Time>::infinity();
-    for (topo::EdgeId e : path.edges) {
-      latency += graph.edge(e).latency;
-    }
+    const net::PathEstimate est = network_->estimate_path(path);
+    const Time latency =
+        (est.fair_share > 0 ? bytes / est.fair_share
+                            : std::numeric_limits<Time>::infinity()) +
+        est.latency;
     kv_s = std::max(kv_s, latency);
   }
 
@@ -135,8 +133,7 @@ double Router::cost_with_fair_share(
 }
 
 double Router::cost(std::size_t id, const wl::Request& request) const {
-  return cost_with_fair_share(instances_.at(id), request,
-                              network_->fair_share_bandwidth());
+  return cost_for(instances_.at(id), request);
 }
 
 std::size_t Router::route(const wl::Request& request) {
@@ -157,9 +154,7 @@ std::size_t Router::route(const wl::Request& request) {
       // (strict <), so dispatch is reproducible and order-independent.
       std::size_t best = std::numeric_limits<std::size_t>::max();
       for (std::size_t i = 0; i < instances_.size(); ++i) {
-        const ClusterSim& sim = *instances_[i].sim;
-        const std::size_t in_flight =
-            sim.submitted_count() - sim.retired_count();
+        const std::size_t in_flight = instances_[i].sim->load().in_flight;
         if (in_flight < best) {
           best = in_flight;
           pick = i;
@@ -168,12 +163,9 @@ std::size_t Router::route(const wl::Request& request) {
       break;
     }
     case RouterPolicy::kHeroServe: {
-      const std::vector<Bandwidth> fair_share =
-          network_->fair_share_bandwidth();
       double best = std::numeric_limits<double>::infinity();
       for (std::size_t i = 0; i < instances_.size(); ++i) {
-        const double c =
-            cost_with_fair_share(instances_[i], request, fair_share);
+        const double c = cost_for(instances_[i], request);
         if (c < best) {  // strict: identical costs keep the lowest id
           best = c;
           pick = i;

@@ -65,8 +65,8 @@ class Router {
 
   /// Register an instance; returns its id (assignment order). The KV term
   /// uses the instance's static prefill->decode pairing paths (same i ->
-  /// i * |dec| / |pre| mapping the serving simulator streams over),
-  /// evaluated against the network's live fair-share bandwidth at dispatch
+  /// i * |dec| / |pre| mapping the serving simulator streams over), probed
+  /// against the network's live link state via estimate_path() at dispatch
   /// time.
   std::size_t add_instance(ClusterSim& instance);
 
@@ -100,9 +100,8 @@ class Router {
   std::vector<std::uint64_t> dispatched_;
   std::size_t next_rr_ = 0;
 
-  [[nodiscard]] double cost_with_fair_share(
-      const Instance& inst, const wl::Request& request,
-      const std::vector<Bandwidth>& fair_share) const;
+  [[nodiscard]] double cost_for(const Instance& inst,
+                                const wl::Request& request) const;
 };
 
 }  // namespace hero::serve

@@ -7,7 +7,23 @@
 #include <unordered_map>
 
 namespace hero::topo {
+
+// Single-source Dijkstra result, shared by the one-shot queries and the
+// memoizing PathOracle (which is why it is not in the anonymous namespace).
+struct detail::Sssp {
+  // prev[(node, via)] = (prev_node, prev_via, edge)
+  struct Prev {
+    NodeId node = kInvalidNode;
+    std::uint8_t via = 0;
+    EdgeId edge = kInvalidEdge;
+  };
+  std::vector<std::array<double, 2>> dist;
+  std::vector<std::array<Prev, 2>> prev;
+};
+
 namespace {
+
+using SearchResult = detail::Sssp;
 
 Bandwidth edge_bandwidth(const Graph& g, EdgeId e,
                          std::span<const Bandwidth> residual) {
@@ -23,17 +39,6 @@ struct State {
   NodeId node = kInvalidNode;
   std::uint8_t via_nvlink = 0;  // 1 if the edge that reached `node` was NVLink
   bool operator>(const State& o) const { return dist > o.dist; }
-};
-
-struct SearchResult {
-  // prev[(node, via)] = (prev_node, prev_via, edge)
-  struct Prev {
-    NodeId node = kInvalidNode;
-    std::uint8_t via = 0;
-    EdgeId edge = kInvalidEdge;
-  };
-  std::vector<std::array<double, 2>> dist;
-  std::vector<std::array<Prev, 2>> prev;
 };
 
 SearchResult dijkstra(const Graph& g, NodeId src, const PathOptions& opts,
@@ -165,6 +170,57 @@ std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst,
     }
   }
   return found;
+}
+
+PathOracle::PathOracle(const Graph& g, const PathOptions& opts)
+    : graph_(&g), opts_(opts) {
+  // Snapshot residual bandwidth so the oracle stays valid after caller
+  // mutations (same contract as PathStore).
+  residual_copy_.assign(opts.residual_bw.begin(), opts.residual_bw.end());
+  opts_.residual_bw = residual_copy_;
+  cache_.resize(g.node_count());
+}
+
+PathOracle::~PathOracle() = default;
+PathOracle::PathOracle(PathOracle&&) noexcept = default;
+PathOracle& PathOracle::operator=(PathOracle&&) noexcept = default;
+
+const detail::Sssp& PathOracle::solved(NodeId src) const {
+  std::unique_ptr<detail::Sssp>& slot = cache_[src];
+  if (!slot) {
+    slot = std::make_unique<detail::Sssp>(dijkstra(*graph_, src, opts_, {}));
+  }
+  return *slot;
+}
+
+std::optional<Path> PathOracle::path(NodeId src, NodeId dst) const {
+  // Mirrors shortest_path() exactly (bit-identical paths), with the
+  // per-source Dijkstra answered from the cache.
+  if (src == dst) return Path{{src}, {}};
+  std::optional<Path> found = extract_path(solved(src), src, dst);
+  if (!opts_.constraints.allow_nvlink &&
+      opts_.constraints.allow_nvlink_direct) {
+    if (auto direct = direct_nvlink(*graph_, src, dst)) {
+      if (!found ||
+          direct->latency(*graph_, opts_.ref_bytes, opts_.residual_bw) <
+              found->latency(*graph_, opts_.ref_bytes, opts_.residual_bw)) {
+        return direct;
+      }
+    }
+  }
+  return found;
+}
+
+Time PathOracle::latency(NodeId src, NodeId dst, Bytes bytes) const {
+  const std::optional<Path> p = path(src, dst);
+  if (!p) return std::numeric_limits<Time>::infinity();
+  return p->latency(*graph_, bytes, opts_.residual_bw);
+}
+
+std::size_t PathOracle::sources_solved() const {
+  std::size_t n = 0;
+  for (const auto& slot : cache_) n += slot != nullptr;
+  return n;
 }
 
 std::vector<Path> alternate_paths(const Graph& g, NodeId src, NodeId dst,

@@ -15,6 +15,7 @@
 // `allow_nvlink = false`, which restricts them to pure Ethernet routes.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -74,6 +75,42 @@ struct Path {
 [[nodiscard]] std::vector<Path> alternate_paths(const Graph& g, NodeId src,
                                                 NodeId dst, std::size_t k,
                                                 const PathOptions& opts = {});
+
+namespace detail {
+struct Sssp;  // single-source Dijkstra result (defined in paths.cpp)
+}  // namespace detail
+
+/// Memoized single-source shortest-path queries over a fixed graph and
+/// options. The Dijkstra underneath shortest_path() is target-independent,
+/// so one solve per distinct source answers every (src, dst) query with a
+/// path bit-identical to a fresh shortest_path() call. Turns the planner's
+/// group-scoring loop from one Dijkstra per (member, switch) probe into one
+/// per distinct member. Only valid while the graph outlives the oracle;
+/// `opts.residual_bw` is snapshotted at construction.
+class PathOracle {
+ public:
+  explicit PathOracle(const Graph& g, const PathOptions& opts = {});
+  ~PathOracle();
+  PathOracle(PathOracle&&) noexcept;
+  PathOracle& operator=(PathOracle&&) noexcept;
+
+  /// Same contract as shortest_path(g, src, dst, opts).
+  [[nodiscard]] std::optional<Path> path(NodeId src, NodeId dst) const;
+  /// Eq. 10 latency of a `bytes` transfer along path(src, dst); infinity
+  /// when the pair is unreachable under the constraints.
+  [[nodiscard]] Time latency(NodeId src, NodeId dst, Bytes bytes) const;
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+  /// Distinct sources solved so far (cache effectiveness / tests).
+  [[nodiscard]] std::size_t sources_solved() const;
+
+ private:
+  const Graph* graph_;
+  PathOptions opts_;
+  std::vector<Bandwidth> residual_copy_;
+  mutable std::vector<std::unique_ptr<detail::Sssp>> cache_;  // per source
+
+  [[nodiscard]] const detail::Sssp& solved(NodeId src) const;
+};
 
 /// All-pairs shortest paths among `terminals` (the planner's offline
 /// `P_(k,a)` path store and `D_(i,j)` latency matrix).

@@ -277,6 +277,28 @@ TEST(Engine, HierarchicalFasterThanFlatOnTestbed) {
   EXPECT_LT(hier_done, flat_done);
 }
 
+TEST(Engine, RankAggregationOracleOverloadMatchesGraphOverload) {
+  // The caller-owned-oracle fast path must elect identical switches in
+  // identical order to the per-call graph overload.
+  const topo::Graph g = topo::make_testbed();
+  const auto by_server = g.gpus_by_server();
+  for (const bool hetero : {true, false}) {
+    topo::PathOptions opts;
+    opts.constraints =
+        topo::PathConstraints{hetero, true, /*allow_nvlink_direct=*/!hetero};
+    const topo::PathOracle oracle(g, opts);
+    for (std::size_t server = 0; server < by_server.size(); ++server) {
+      std::vector<NodeId> members = by_server[server];
+      if (server + 1 < by_server.size()) {
+        members.insert(members.end(), by_server[server + 1].begin(),
+                       by_server[server + 1].end());
+      }
+      EXPECT_EQ(rank_aggregation_switches(oracle, members, 2),
+                rank_aggregation_switches(g, members, opts.constraints, 2));
+    }
+  }
+}
+
 TEST(Engine, HierarchicalInaIsSharded) {
   // SwitchML sharding: the INA wide phase carries every member with a 1/g
   // payload fraction, not just per-server leaders with full payloads.

@@ -261,6 +261,26 @@ TEST(FleetExperiment, DeterministicForSeed) {
   }
 }
 
+TEST(FleetExperiment, SimultaneousBurstDoesNotHerdToOneInstance) {
+  // Regression: estimate_path on a saturated link used to report zero
+  // admissible bandwidth for everyone, collapsing the hero cost to the
+  // same infinity on every instance — and the tie-break then herded an
+  // entire arrival burst onto instance 0. The post-admission fair share
+  // (cap / (n + 1)) keeps the KV term finite and the queue terms rank the
+  // instances apart.
+  ExperimentConfig cfg = fleet_config(2, serve::RouterPolicy::kHeroServe);
+  cfg.workload.rate = 5000.0;  // the whole trace lands near-simultaneously
+  cfg.workload.count = 16;
+  const FleetExperimentResult r =
+      run_fleet_experiment(SystemKind::kHeroServe, cfg);
+  ASSERT_TRUE(r.ok()) << r.plan.infeasible_reason;
+  ASSERT_EQ(r.report.dispatched.size(), 2u);
+  EXPECT_EQ(r.report.dispatched[0] + r.report.dispatched[1], 16u);
+  EXPECT_LT(r.report.dispatched[0], 16u)
+      << "burst herded onto instance 0";
+  EXPECT_GT(r.report.dispatched[0], 0u);
+}
+
 TEST(FleetExperiment, RoundRobinDispatchIsEven) {
   const ExperimentConfig cfg =
       fleet_config(2, serve::RouterPolicy::kRoundRobin);

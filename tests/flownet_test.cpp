@@ -167,14 +167,45 @@ TEST(FlowNetwork, UtilizationReflectsActiveFlow) {
   EXPECT_NEAR(f.net->edge_utilization(1), 0.0, 1e-9);
 }
 
-TEST(FlowNetwork, ResidualBandwidthDropsUnderLoad) {
+TEST(FlowNetwork, EstimatePathResidualDropsUnderLoad) {
   Fixture f(two_hop_graph());
-  const auto before = f.net->residual_bandwidth();
-  EXPECT_NEAR(before[0], 100 * units::Gbps, 1.0);
+  const Path p = path_of(f.graph, "a", "b");
+  const PathEstimate before = f.net->estimate_path(p);
+  EXPECT_NEAR(before.residual, 100 * units::Gbps, 1.0);
+  EXPECT_NEAR(before.fair_share, 100 * units::Gbps, 1.0);
+  f.net->start_transfer(p, 10.0 * units::MB, {});
+  f.simulator.run_until(1.0 * units::us);
+  const PathEstimate during = f.net->estimate_path(p);
+  EXPECT_NEAR(during.residual, 0.0, 1.0);
+  // Saturated link: a new flow would still be admitted at cap / (n + 1),
+  // not at the zero residual (the burst-herding fix).
+  EXPECT_NEAR(during.fair_share, 50 * units::Gbps, 1.0);
+  EXPECT_EQ(during.bottleneck_link, 0u);
+}
+
+TEST(FlowNetwork, EstimatePathEmptyPath) {
+  Fixture f(two_hop_graph());
+  const PathEstimate est = f.net->estimate_path(Path{{f.graph.find("a")}, {}});
+  EXPECT_EQ(est.bottleneck_link, topo::kInvalidEdge);
+  EXPECT_EQ(est.latency, 0.0);
+  EXPECT_GT(est.fair_share, 1e30);
+}
+
+TEST(FlowNetwork, EstimatePathAccumulatesLatency) {
+  Fixture f(two_hop_graph(1.0 * units::us));
+  const PathEstimate est = f.net->estimate_path(path_of(f.graph, "a", "b"));
+  EXPECT_NEAR(est.latency, 2.0 * units::us, 1e-12);
+}
+
+TEST(FlowNetwork, EstimatePathIsDirectionAware) {
+  // Load the a->b direction only; b->a must still look idle.
+  Fixture f(two_hop_graph());
   f.net->start_transfer(path_of(f.graph, "a", "b"), 10.0 * units::MB, {});
   f.simulator.run_until(1.0 * units::us);
-  const auto during = f.net->residual_bandwidth();
-  EXPECT_NEAR(during[0], 0.0, 1.0);
+  const PathEstimate fwd = f.net->estimate_path(path_of(f.graph, "a", "b"));
+  const PathEstimate rev = f.net->estimate_path(path_of(f.graph, "b", "a"));
+  EXPECT_NEAR(fwd.residual, 0.0, 1.0);
+  EXPECT_NEAR(rev.residual, 100 * units::Gbps, 1.0);
 }
 
 TEST(FlowNetwork, DeliveredBytesAccumulate) {

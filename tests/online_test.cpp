@@ -315,8 +315,7 @@ TEST(HeroCommScheduler, UnicastPrefersUncongestedAlternate) {
   f.network.start_transfer(base, 1.0 * units::GB, {});
   f.simulator.run_until(10.0 * units::us);
   const topo::Path rerouted = sched.unicast_path(gpus[0], gpus[4]);
-  const auto residual = f.network.residual_bandwidth();
-  EXPECT_GT(rerouted.bottleneck(f.graph, residual), 0.0);
+  EXPECT_GT(f.network.estimate_path(rerouted).residual, 0.0);
   EXPECT_NE(rerouted.edges, base.edges);
 }
 

@@ -2,6 +2,8 @@
 // latency math — including the paper's Fig. 2 numbers — and the PathStore.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.hpp"
 #include "topology/builders.hpp"
 #include "topology/paths.hpp"
@@ -246,6 +248,56 @@ TEST(PathStore, NonTerminalThrows) {
   const PathStore store(g, g.gpus());
   EXPECT_THROW((void)store.path(g.find("g0"), g.find("s0")),
                std::out_of_range);
+}
+
+TEST(PathOracle, MatchesSinglePairQueriesExactly) {
+  // The oracle must be a pure memoization of shortest_path: identical node
+  // and edge sequences for every pair, under both constraint regimes
+  // (including the homogeneous direct-NVLink override).
+  const Graph g = make_testbed();
+  for (const bool hetero : {true, false}) {
+    PathOptions opts;
+    opts.constraints =
+        PathConstraints{hetero, true, /*allow_nvlink_direct=*/!hetero};
+    const PathOracle oracle(g, opts);
+    for (NodeId a = 0; a < g.node_count(); ++a) {
+      for (NodeId b = 0; b < g.node_count(); ++b) {
+        const auto direct = shortest_path(g, a, b, opts);
+        const auto cached = oracle.path(a, b);
+        ASSERT_EQ(direct.has_value(), cached.has_value())
+            << a << " -> " << b;
+        if (!direct) continue;
+        EXPECT_EQ(direct->nodes, cached->nodes) << a << " -> " << b;
+        EXPECT_EQ(direct->edges, cached->edges) << a << " -> " << b;
+        EXPECT_EQ(direct->latency(g, units::MiB),
+                  oracle.latency(a, b, units::MiB));
+      }
+    }
+  }
+}
+
+TEST(PathOracle, SolvesEachSourceOnce) {
+  const Graph g = make_testbed();
+  const PathOracle oracle(g);
+  EXPECT_EQ(oracle.sources_solved(), 0u);
+  const NodeId src = g.gpus()[0];
+  for (NodeId sw : g.switches()) (void)oracle.path(src, sw);
+  EXPECT_EQ(oracle.sources_solved(), 1u);
+  (void)oracle.path(g.gpus()[1], g.switches()[0]);
+  EXPECT_EQ(oracle.sources_solved(), 2u);
+}
+
+TEST(PathOracle, UnreachableLatencyIsInfinite) {
+  // Ethernet-forbidden: a cross-server pair has no route.
+  const Graph g = make_testbed();
+  PathOptions opts;
+  opts.constraints.allow_ethernet = false;
+  const PathOracle oracle(g, opts);
+  const auto gpus = g.gpus();
+  const NodeId far = gpus.back();  // different server than gpus[0]
+  ASSERT_NE(g.node(gpus[0]).gpu.server, g.node(far).gpu.server);
+  EXPECT_FALSE(oracle.path(gpus[0], far).has_value());
+  EXPECT_TRUE(std::isinf(oracle.latency(gpus[0], far, units::MiB)));
 }
 
 TEST(PathStore, RespectsResidualBandwidth) {

@@ -1,6 +1,8 @@
 // Tests for the discrete-event simulation core.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "netsim/sim.hpp"
 
 namespace hero::sim {
@@ -114,6 +116,109 @@ TEST(Simulator, ExecutedEventsCounts) {
   for (int i = 0; i < 7; ++i) s.schedule(i, [] {});
   s.run();
   EXPECT_EQ(s.executed_events(), 7u);
+}
+
+TEST(Simulator, ScheduledAndCancelledCounters) {
+  Simulator s;
+  const EventId a = s.schedule(1.0, [] {});
+  s.schedule(2.0, [] {});
+  EXPECT_EQ(s.scheduled_events(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.cancelled_events(), 1u);
+  // Double-cancel and stale cancels are no-ops, not double counts.
+  s.cancel(a);
+  EXPECT_EQ(s.cancelled_events(), 1u);
+  s.run();
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
+TEST(Simulator, CancelAfterExecutionIsNoop) {
+  Simulator s;
+  const EventId id = s.schedule(1.0, [] {});
+  s.run();
+  s.cancel(id);  // slot may be reused; the generation stamp protects it
+  EXPECT_EQ(s.cancelled_events(), 0u);
+}
+
+TEST(Simulator, StaleIdDoesNotCancelRecycledSlot) {
+  Simulator s;
+  const EventId first = s.schedule(1.0, [] {});
+  s.run();
+  // The pool slot of `first` is free; this event will likely reuse it.
+  bool ran = false;
+  s.schedule(2.0, [&] { ran = true; });
+  s.cancel(first);  // stale generation: must NOT hit the new occupant
+  s.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.cancelled_events(), 0u);
+}
+
+TEST(Simulator, EqualTimeFifoSurvivesInterleavedCancels) {
+  Simulator s;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(s.schedule(1.0, [&order, i] { order.push_back(i); }));
+  }
+  // Cancelling the odd events must not disturb the even events' FIFO order
+  // (heap removals swap nodes around; the insertion seq keeps order).
+  for (int i = 1; i < 10; i += 2) s.cancel(ids[i]);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(Simulator, PoolReuseKeepsFifoOrder) {
+  Simulator s;
+  // Burn and free a batch of slots, then schedule a same-time batch that
+  // reuses them: execution must still follow insertion order.
+  std::vector<EventId> burn;
+  for (int i = 0; i < 8; ++i) burn.push_back(s.schedule(1.0, [] {}));
+  for (const EventId id : burn) s.cancel(id);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    s.schedule(2.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+/// Randomized cancel/reschedule stress against a reference model: schedule
+/// events with colliding times, cancel a scripted subset, and require the
+/// indexed heap to fire exactly the reference's (time, insertion-seq) order.
+TEST(Simulator, CancelStressMatchesReferenceModel) {
+  Simulator s;
+  struct Ref {
+    double at = 0.0;
+    int idx = 0;
+  };
+  std::vector<Ref> expected;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  std::uint64_t lcg = 42;
+  auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>((lcg >> 33) % 50);  // many equal times
+  };
+  std::vector<bool> cancelled(300, false);
+  for (int i = 0; i < 300; ++i) {
+    const double at = next();
+    ids.push_back(s.schedule(at, [&fired, i] { fired.push_back(i); }));
+    expected.push_back({at, i});
+  }
+  for (int i = 0; i < 300; i += 3) {
+    s.cancel(ids[i]);
+    cancelled[i] = true;
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Ref& a, const Ref& b) { return a.at < b.at; });
+  std::vector<int> want;
+  for (const Ref& r : expected) {
+    if (!cancelled[r.idx]) want.push_back(r.idx);
+  }
+  s.run();
+  EXPECT_EQ(fired, want);
+  EXPECT_EQ(s.executed_events(), want.size());
+  EXPECT_EQ(s.cancelled_events(), 100u);
 }
 
 }  // namespace

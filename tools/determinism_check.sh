@@ -105,7 +105,66 @@ for seed in "${SEEDS[@]}"; do
   if [ "$FAIL" -eq 0 ]; then
     echo "determinism_check: seed=$seed fleet OK (stdout + trace byte-identical)"
   fi
+
+  # Engine-equivalence phase: the incremental max-min engine and the
+  # whole-fabric solve must produce byte-identical output — stdout and the
+  # trace JSON (event stream, metrics snapshot) alike, not merely close
+  # numbers. Covers both the single-instance and the fleet pipeline.
+  for mode in "" "--full-solve"; do
+    dir="equiv-$seed${mode:+-full}"
+    mkdir -p "$WORK/$dir"
+    ( cd "$WORK/$dir" &&
+      "$QUICKSTART" "$RATE" "$REQUESTS" --seed "$seed" $mode \
+          --trace trace.json > stdout.txt )
+  done
+  if ! cmp -s "$WORK/equiv-$seed/stdout.txt" "$WORK/equiv-$seed-full/stdout.txt"; then
+    echo "determinism_check: FAIL seed=$seed full-solve stdout diverges from incremental" >&2
+    diff "$WORK/equiv-$seed/stdout.txt" "$WORK/equiv-$seed-full/stdout.txt" | head -20 >&2 || true
+    FAIL=1
+  fi
+  if ! cmp -s "$WORK/equiv-$seed/trace.json" "$WORK/equiv-$seed-full/trace.json"; then
+    echo "determinism_check: FAIL seed=$seed full-solve trace diverges from incremental" >&2
+    FAIL=1
+  fi
+  if [ "$FAIL" -eq 0 ]; then
+    echo "determinism_check: seed=$seed engine-equivalence OK (incremental == full-solve)"
+  fi
 done
+
+# Simspeed phase (when the bench is built): BENCH_simspeed.json must
+# reproduce across reruns once the wall-clock keys (wall_*) are stripped,
+# and the full-solve engine must agree on every key that is not
+# wall-derived (wall_*) or solver-mode-dependent (solver_*).
+BENCH_SIMSPEED="$(cd "$BUILD_DIR" && pwd)/bench/bench_simspeed"
+if [ -x "$BENCH_SIMSPEED" ]; then
+  strip_wall() { sed -E 's/, "wall_[a-z_]+": [^,}]+//g' "$1"; }
+  strip_wall_solver() { sed -E 's/, "(wall|solver)_[a-z_]+": [^,}]+//g' "$1"; }
+  for run in 1 2; do
+    mkdir -p "$WORK/simspeed-$run"
+    ( cd "$WORK/simspeed-$run" &&
+      "$BENCH_SIMSPEED" --quick > stdout.txt 2>&1 )
+  done
+  mkdir -p "$WORK/simspeed-full"
+  ( cd "$WORK/simspeed-full" &&
+    "$BENCH_SIMSPEED" --quick --full-solve > stdout.txt 2>&1 )
+  if ! cmp -s <(strip_wall "$WORK/simspeed-1/BENCH_simspeed.json") \
+              <(strip_wall "$WORK/simspeed-2/BENCH_simspeed.json"); then
+    echo "determinism_check: FAIL simspeed JSON differs between reruns (wall_ stripped)" >&2
+    FAIL=1
+  fi
+  if ! cmp -s <(strip_wall_solver "$WORK/simspeed-1/BENCH_simspeed.json") \
+              <(strip_wall_solver "$WORK/simspeed-full/BENCH_simspeed.json"); then
+    echo "determinism_check: FAIL simspeed full-solve JSON diverges (wall_/solver_ stripped)" >&2
+    diff <(strip_wall_solver "$WORK/simspeed-1/BENCH_simspeed.json") \
+         <(strip_wall_solver "$WORK/simspeed-full/BENCH_simspeed.json") | head -10 >&2 || true
+    FAIL=1
+  fi
+  if [ "$FAIL" -eq 0 ]; then
+    echo "determinism_check: simspeed OK (rerun + engine-equivalence)"
+  fi
+else
+  echo "determinism_check: simspeed phase skipped ($BENCH_SIMSPEED not built)"
+fi
 
 if [ "$FAIL" -ne 0 ]; then
   echo "determinism_check: FAILED" >&2
