@@ -108,7 +108,7 @@ void Chaos_Cell(benchmark::State& state, SystemKind kind,
   Cell cell;
   for (auto _ : state) cell = run_cell(kind, scenario);
   g_cells[cell_key(scenario, kind)] = cell;
-  state.counters["goodput_rps"] = cell.report.requests_per_second;
+  state.counters["goodput_rps"] = raw(cell.report.requests_per_second);
   state.counters["sla_attainment"] = cell.report.sla_attainment;
   state.counters["ttft_p99_s"] = cell.report.ttft.p99();
   state.counters["tpot_p99_s"] = cell.report.tpot.p99();
@@ -145,7 +145,7 @@ void print_scenario(const ChaosScenario& scenario) {
       continue;
     }
     table.add_row(
-        {to_string(kind), fmt_double(c.report.requests_per_second, 3),
+        {to_string(kind), fmt_double(raw(c.report.requests_per_second), 3),
          fmt_double(c.report.sla_attainment, 3),
          fmt_double(c.report.ttft.median(), 2) + " / " +
              fmt_double(c.report.ttft.p99(), 2),

@@ -86,7 +86,7 @@ void Coll_Case(benchmark::State& state, Variant variant, Bytes bytes) {
             fmt_double(bytes / units::MB, 2)] = latency;
   state.counters["latency_us"] = latency / units::us;
   // Algorithmic bandwidth: payload per member / latency.
-  state.counters["algbw_GBps"] = bytes / latency / 1e9;
+  state.counters["algbw_GBps"] = raw(bytes / latency) / 1e9;
 }
 
 #define COLL(variant, tag)                                                  \

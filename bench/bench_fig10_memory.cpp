@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
   double horizon = 0;
   for (SystemKind kind : kAllSystems) {
     const auto& tl = g_cells[to_string(kind)].timeline;
-    if (!tl.empty()) horizon = std::max(horizon, tl.back().time);
+    if (!tl.empty()) horizon = std::max(horizon, raw(tl.back().time));
   }
   auto at_time = [&](SystemKind kind, double t) {
     const auto& tl = g_cells[to_string(kind)].timeline;

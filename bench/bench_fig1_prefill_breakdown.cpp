@@ -97,12 +97,12 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  g_table.add_row({"L40 FP16/FP16", fmt_double(g_l40.compute, 3),
-                   fmt_double(g_l40.comm, 3),
+  g_table.add_row({"L40 FP16/FP16", fmt_double(raw(g_l40.compute), 3),
+                   fmt_double(raw(g_l40.comm), 3),
                    fmt_double(100.0 * g_l40.comm_share(), 1) + "%",
                    ">65%"});
-  g_table.add_row({"A100 FP16/FP16", fmt_double(g_a100.compute, 3),
-                   fmt_double(g_a100.comm, 3),
+  g_table.add_row({"A100 FP16/FP16", fmt_double(raw(g_a100.compute), 3),
+                   fmt_double(raw(g_a100.comm), 3),
                    fmt_double(100.0 * g_a100.comm_share(), 1) + "%",
                    ">75%"});
   g_table.print();
@@ -113,8 +113,8 @@ int main(int argc, char** argv) {
         {"A100", g_a100}}) {
     json.add_row()
         .str("gpu", gpu)
-        .num("compute_s", b.compute)
-        .num("allreduce_s", b.comm)
+        .num("compute_s", raw(b.compute))
+        .num("allreduce_s", raw(b.comm))
         .num("comm_share", b.comm_share());
   }
   json.write("BENCH_fig1_prefill_breakdown.json");

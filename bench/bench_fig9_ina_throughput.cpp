@@ -92,7 +92,7 @@ double run_throughput(SystemKind kind, Bytes message) {
   for (std::size_t g = 0; g < kGroups; ++g) launch(g);
   simulator.run_until(kWindowSeconds * 1.5);
 
-  return static_cast<double>(completed) * message / kWindowSeconds;
+  return static_cast<double>(completed) * raw(message) / kWindowSeconds;
 }
 
 std::map<std::string, double> g_throughput;  // "size/system" -> bytes/s

@@ -88,7 +88,7 @@ void Fleet_Cell(benchmark::State& state, std::size_t instances,
   Cell cell;
   for (auto _ : state) cell = run_cell(instances, policy);
   g_cells[cell_key(instances, policy)] = cell;
-  state.counters["goodput_rps"] = cell.report.aggregate.requests_per_second;
+  state.counters["goodput_rps"] = raw(cell.report.aggregate.requests_per_second);
   state.counters["ttft_p99_s"] = cell.report.aggregate.ttft.p99();
   state.counters["sla_attainment"] = cell.report.aggregate.sla_attainment;
   state.counters["dispatch_imbalance"] = cell.report.dispatch_imbalance;
@@ -123,7 +123,7 @@ void print_tables() {
       }
       const serve::ServingReport& agg = c.report.aggregate;
       table.add_row({serve::to_string(policy),
-                     fmt_double(agg.requests_per_second, 3),
+                     fmt_double(raw(agg.requests_per_second), 3),
                      fmt_double(agg.sla_attainment, 3),
                      fmt_double(agg.ttft.median(), 2) + " / " +
                          fmt_double(agg.ttft.p99(), 2),

@@ -96,7 +96,7 @@ double run_variant(const Variant& variant) {
   };
   for (std::size_t g = 0; g < kGroups; ++g) launch(g);
   simulator.run_until(kWindowSeconds * 1.5);
-  return static_cast<double>(completed) * kMessage / kWindowSeconds;
+  return static_cast<double>(completed) * raw(kMessage) / kWindowSeconds;
 }
 
 hero::bench::FigureTable g_table(

@@ -155,7 +155,7 @@ void SimSpeed_Cell(benchmark::State& state, const Scenario& scenario) {
   for (auto _ : state) out = scenario.run();
   g_outcomes[scenario.name] = out;
   const double wall = out.wall_seconds > 0 ? out.wall_seconds : 1e-9;
-  state.counters["sim_per_wall"] = out.stats.sim_seconds / wall;
+  state.counters["sim_per_wall"] = raw(out.stats.sim_seconds) / wall;
   state.counters["events_per_sec"] =
       static_cast<double>(out.stats.events_executed) / wall;
   state.counters["solves_avoided"] = solves_avoided(out.stats);
@@ -186,9 +186,9 @@ void print_table() {
     }
     const double wall = o.wall_seconds > 0 ? o.wall_seconds : 1e-9;
     table.add_row(
-        {s.name, fmt_double(o.stats.sim_seconds, 1),
+        {s.name, fmt_double(raw(o.stats.sim_seconds), 1),
          std::to_string(o.stats.events_executed),
-         fmt_double(o.stats.sim_seconds / wall, 1),
+         fmt_double(raw(o.stats.sim_seconds) / wall, 1),
          fmt_double(static_cast<double>(o.stats.events_executed) / wall, 0),
          fmt_double(100.0 * solves_avoided(o.stats), 1) + "%"});
   }
@@ -202,7 +202,7 @@ void write_json() {
     auto& row = json.add_row();
     row.str("scenario", s.name)
         .str("solver_engine", g_full_solve ? "full" : "incremental")
-        .num("sim_seconds", o.stats.sim_seconds)
+        .num("sim_seconds", raw(o.stats.sim_seconds))
         .integer("events_executed", o.stats.events_executed)
         .integer("events_scheduled", o.stats.events_scheduled)
         .integer("events_cancelled", o.stats.events_cancelled)
@@ -213,7 +213,7 @@ void write_json() {
         .num("solver_solves_avoided", solves_avoided(o.stats))
         .num("wall_seconds", o.wall_seconds)
         .num("wall_sim_per_wall",
-             o.stats.sim_seconds /
+             raw(o.stats.sim_seconds) /
                  (o.wall_seconds > 0 ? o.wall_seconds : 1e-9));
   }
   json.write("BENCH_simspeed.json");
@@ -229,7 +229,7 @@ void print_verdict() {
   if (fleet16.ok) {
     const double wall =
         fleet16.wall_seconds > 0 ? fleet16.wall_seconds : 1e-9;
-    const double sim_per_wall = fleet16.stats.sim_seconds / wall;
+    const double sim_per_wall = raw(fleet16.stats.sim_seconds) / wall;
     if (sim_per_wall < 5.0) {
       pass = false;
       std::printf("verdict: fleet16 sim/wall %.1f below the 5.0 floor\n",

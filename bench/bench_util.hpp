@@ -93,8 +93,8 @@ class JsonReport {
 /// The latency/goodput fields every serving bench reports per cell.
 inline void report_latency_fields(JsonReport::Row& row,
                                   const serve::ServingReport& report) {
-  row.num("goodput_rps", report.requests_per_second)
-      .num("per_gpu_goodput", report.per_gpu_goodput)
+  row.num("goodput_rps", raw(report.requests_per_second))
+      .num("per_gpu_goodput", raw(report.per_gpu_goodput))
       .num("sla_attainment", report.sla_attainment)
       .num("ttft_p50_s", report.ttft.median())
       .num("ttft_p99_s", report.ttft.p99())

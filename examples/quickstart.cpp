@@ -98,7 +98,7 @@ int run_fleet(const hero::cli::Options& opts, hero::ExperimentConfig cfg,
   table.print();
   std::printf(
       "\nfleet goodput = %.3f req/s/GPU, dispatch imbalance = %.3f\n",
-      agg.per_gpu_goodput, r.report.dispatch_imbalance);
+      raw(agg.per_gpu_goodput), r.report.dispatch_imbalance);
 
   if (!opts.trace_path.empty()) {
     if (tracer.write_chrome_trace_file(opts.trace_path.c_str())) {
@@ -174,7 +174,7 @@ int main(int argc, char** argv) {
          fmt_double(r.report.ttft.p90(), 3),
          fmt_double(r.report.tpot.p90(), 4),
          fmt_double(r.report.sla_attainment, 3),
-         fmt_double(r.report.requests_per_second, 2),
+         fmt_double(raw(r.report.requests_per_second), 2),
          fmt_double(r.report.kv_utilization_avg, 3)});
     if (traced && r.report.trace_checked) {
       std::printf(

@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
          fmt_double(r.report.ttft.p90(), 2),
          fmt_double(r.report.tpot.p90(), 4),
          fmt_double(r.report.kv_utilization_avg, 3),
-         fmt_double(r.report.requests_per_second, 3)});
+         fmt_double(raw(r.report.requests_per_second), 3)});
   }
   table.print();
   return 0;

@@ -537,7 +537,7 @@ std::vector<topo::NodeId> rank_aggregation_switches(
     bool reachable = true;
     for (topo::NodeId m : members) {
       const Time lat = oracle.latency(m, sw, 1.0 * units::MiB);
-      if (std::isinf(lat)) {
+      if (std::isinf(raw(lat))) {
         reachable = false;
         break;
       }

@@ -116,7 +116,7 @@ double TimeWeighted::average() const {
 double TimeWeighted::average_until(Time now) const {
   if (!started_ || now <= last_time_) return average();
   const Time dur = now - first_time_;
-  const double sum = weighted_sum_ + current_ * (now - last_time_);
+  const Time sum = weighted_sum_ + current_ * (now - last_time_);
   return dur > 0.0 ? sum / dur : current_;
 }
 

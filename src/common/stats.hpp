@@ -111,7 +111,7 @@ class TimeWeighted {
   Time first_time_ = 0.0;
   Time last_time_ = 0.0;
   double current_ = 0.0;
-  double weighted_sum_ = 0.0;
+  Time weighted_sum_ = 0.0;  ///< signal (dimensionless) x seconds
   double peak_ = 0.0;
 };
 

@@ -304,7 +304,7 @@ void FaultInjector::inject_sync(const FaultEvent& ev) {
     return;
   }
   if (ev.kind == FaultKind::kSyncDelay) {
-    sync_delay_ = std::max(sync_delay_, ev.magnitude);
+    sync_delay_ = std::max(sync_delay_, Time{ev.magnitude});
   } else {
     ++sync_drops_;
   }

@@ -5,22 +5,22 @@ namespace hero::gpu {
 GpuSpec spec_of(topo::GpuModel model) {
   switch (model) {
     case topo::GpuModel::kA100_40:
-      return GpuSpec{"A100-40GB", 312.0, 0.45, 1555.0 * units::GB, 0.8,
+      return GpuSpec{"A100-40GB", 312.0, 0.45, 1555.0 * units::GBps, 0.8,
                      40.0 * units::GB};
     case topo::GpuModel::kA100_80:
-      return GpuSpec{"A100-80GB", 312.0, 0.45, 2039.0 * units::GB, 0.8,
+      return GpuSpec{"A100-80GB", 312.0, 0.45, 2039.0 * units::GBps, 0.8,
                      80.0 * units::GB};
     case topo::GpuModel::kV100_32:
-      return GpuSpec{"V100-32GB", 125.0, 0.40, 900.0 * units::GB, 0.75,
+      return GpuSpec{"V100-32GB", 125.0, 0.40, 900.0 * units::GBps, 0.75,
                      32.0 * units::GB};
     case topo::GpuModel::kL40_48:
-      return GpuSpec{"L40-48GB", 181.0, 0.40, 864.0 * units::GB, 0.75,
+      return GpuSpec{"L40-48GB", 181.0, 0.40, 864.0 * units::GBps, 0.75,
                      48.0 * units::GB};
     case topo::GpuModel::kH100_80:
-      return GpuSpec{"H100-80GB", 989.0, 0.45, 3350.0 * units::GB, 0.8,
+      return GpuSpec{"H100-80GB", 989.0, 0.45, 3350.0 * units::GBps, 0.8,
                      80.0 * units::GB};
     case topo::GpuModel::kL4_24:
-      return GpuSpec{"L4-24GB", 121.0, 0.35, 300.0 * units::GB, 0.7,
+      return GpuSpec{"L4-24GB", 121.0, 0.35, 300.0 * units::GBps, 0.7,
                      24.0 * units::GB};
   }
   return {};

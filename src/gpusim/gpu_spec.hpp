@@ -22,8 +22,8 @@ struct GpuSpec {
   Bytes memory = 0.0;
 
   /// Effective compute throughput in FLOP/s.
-  [[nodiscard]] double flops() const {
-    return fp16_tflops * 1e12 * efficiency;
+  [[nodiscard]] WorkRate flops() const {
+    return fp16_tflops * units::TFLOPs * efficiency;
   }
   /// Effective memory bandwidth in bytes/s.
   [[nodiscard]] Bandwidth mem_bw() const { return hbm_bw * hbm_efficiency; }

@@ -27,10 +27,10 @@ Time KernelModel::prefill_time(std::size_t k_in, std::size_t k_in2,
 
   // GEMMs: QKV+O projections (4h^2) and the two FFN matmuls (2hm), 2 FLOPs
   // per MAC, sharded across tensor-parallel workers.
-  const double gemm_flops = 2.0 * kin * (4.0 * h * h + 2.0 * h * m);
+  const WorkUnits gemm_flops = 2.0 * kin * (4.0 * h * h + 2.0 * h * m);
   // Attention: QK^T and PV, each 2 * l_i^2 * h FLOPs per request.
-  const double attn_flops = 4.0 * kin2 * h;
-  const double flops_per_layer =
+  const WorkUnits attn_flops = 4.0 * kin2 * h;
+  const WorkUnits flops_per_layer =
       (gemm_flops + attn_flops) / static_cast<double>(p_tens);
 
   const double layers = static_cast<double>(stage_layers);
@@ -52,15 +52,15 @@ Time KernelModel::decode_time(std::size_t batch, std::size_t context_tokens,
   const double shard = 1.0 / static_cast<double>(p_tens);
 
   // Weight streaming: every decode step reads the stage's weight shard once.
-  const double weight_bytes =
+  const Bytes weight_bytes =
       model_.dtype_bytes * (4.0 * h * h + 2.0 * h * m) * shard;
   // KV streaming: attention reads the cached keys/values of every context
   // token in the batch.
-  const double kv_bytes = model_.dtype_bytes * 2.0 * ctx * h * shard;
+  const Bytes kv_bytes = model_.dtype_bytes * 2.0 * ctx * h * shard;
   const Time mem_per_layer = (weight_bytes + kv_bytes) / spec_.mem_bw();
 
-  const double gemm_flops = 2.0 * q * (4.0 * h * h + 2.0 * h * m) * shard;
-  const double attn_flops = 4.0 * ctx * h * shard;
+  const WorkUnits gemm_flops = 2.0 * q * (4.0 * h * h + 2.0 * h * m) * shard;
+  const WorkUnits attn_flops = 4.0 * ctx * h * shard;
   const Time compute_per_layer = (gemm_flops + attn_flops) / spec_.flops();
 
   const double layers = static_cast<double>(stage_layers);

@@ -157,7 +157,7 @@ FitReport profile_and_fit(const KernelModel& hw, std::size_t attn_block,
         for (std::size_t q : requests) {
           // q equal-length requests: K_in2 = q * (K_in/q)^2 = K_in^2 / q.
           const std::size_t kin2 = kin / q > 0 ? (kin / q) * kin : kin;
-          double t = 0.0;
+          Time t = 0.0;
           for (std::size_t r = 0; r < repeats; ++r) {
             t += hw.prefill_time(kin, kin2, layers, pt);
           }
@@ -165,10 +165,10 @@ FitReport profile_and_fit(const KernelModel& hw, std::size_t attn_block,
           double f[3];
           prefill_features(m, attn_block, kin, kin2, layers, pt, f);
           pre_rows.insert(pre_rows.end(), f, f + 3);
-          pre_y.push_back(t);
+          pre_y.push_back(raw(t));
 
           // Decode grid: batch q, context = kin tokens total.
-          double td = 0.0;
+          Time td = 0.0;
           for (std::size_t r = 0; r < repeats; ++r) {
             td += hw.decode_time(q, kin, layers, pt);
           }
@@ -176,7 +176,7 @@ FitReport profile_and_fit(const KernelModel& hw, std::size_t attn_block,
           double fd[3];
           decode_features(m, kin, layers, pt, fd);
           dec_rows.insert(dec_rows.end(), fd, fd + 3);
-          dec_y.push_back(td);
+          dec_y.push_back(raw(td));
         }
       }
     }

@@ -143,7 +143,7 @@ TransferId FlowNetwork::start_transfer(const topo::Path& path, Bytes bytes,
         sim_->now(), id, "net.flow",
         graph_->node(path.nodes.front()).name + "->" +
             graph_->node(path.nodes.back()).name,
-        {obs::arg("bytes", bytes), obs::arg("hops", path.edges.size()),
+        {obs::arg("bytes", raw(bytes)), obs::arg("hops", path.edges.size()),
          obs::arg("pipelined", opts.pipelined)});
     tr->counter(sim_->now(), "net.active_transfers",
                 static_cast<double>(slot_of_.size()));
@@ -277,7 +277,7 @@ void FlowNetwork::collect_all_in_flight(
 }
 
 void FlowNetwork::solve_component(const std::vector<std::uint32_t>& slots,
-                                  std::vector<double>& rates) const {
+                                  std::vector<Bandwidth>& rates) const {
   // Weighted progressive filling, generalized to flows spanning several
   // links (pipelined mode): fixing a flow at the bottleneck's fair share
   // consumes capacity on every other link it crosses. `slots` arrives
@@ -286,7 +286,7 @@ void FlowNetwork::solve_component(const std::vector<std::uint32_t>& slots,
   // restricted to this component, bit for bit.
   rates.assign(slots.size(), 0.0);
   struct LinkState {
-    double residual = 0.0;
+    Bandwidth residual = 0.0;
     double weight_sum = 0.0;
   };
   // Ordered by directed-link index: when two links tie for the bottleneck
@@ -307,11 +307,11 @@ void FlowNetwork::solve_component(const std::vector<std::uint32_t>& slots,
 
   while (!unfixed.empty()) {
     // Find the bottleneck link: minimal fair share per unit weight.
-    double best_share = std::numeric_limits<double>::infinity();
+    Bandwidth best_share = std::numeric_limits<Bandwidth>::infinity();
     std::size_t best_link = ~std::size_t{0};
     for (const auto& [idx, state] : links) {
       if (state.weight_sum <= 0) continue;
-      const double share = state.residual / state.weight_sum;
+      const Bandwidth share = state.residual / state.weight_sum;
       if (share < best_share) {
         best_share = share;
         best_link = idx;
@@ -339,7 +339,8 @@ void FlowNetwork::solve_component(const std::vector<std::uint32_t>& slots,
         if (link.index() == best_link) continue;
         auto it = links.find(link.index());
         if (it != links.end()) {
-          it->second.residual = std::max(0.0, it->second.residual - rates[i]);
+          it->second.residual =
+              std::max(Bandwidth{0.0}, it->second.residual - rates[i]);
           it->second.weight_sum -= t.weight;
         }
       }
@@ -429,7 +430,7 @@ void FlowNetwork::reallocate_dirty() {
   // for bit, full-solve mode skips exactly the same flows.
   for (std::size_t i = 0; i < comp_flows_.size(); ++i) {
     Transfer& t = pool_[comp_flows_[i]];
-    const double new_rate = solved_rates_[i];
+    const Bandwidth new_rate = solved_rates_[i];
     if (new_rate == t.rate) continue;
     progress_transfer(t, now);
     t.rate = new_rate;
@@ -452,7 +453,7 @@ void FlowNetwork::reallocate_dirty() {
 
 void FlowNetwork::refresh_link(std::size_t index, Time now,
                                obs::MetricsRegistry* metrics) {
-  double rate = 0.0;
+  Bandwidth rate = 0.0;
   for (const std::uint32_t slot : link_flows_[index]) {
     rate += pool_[slot].rate;  // id order: the index is sorted by id
   }
@@ -466,7 +467,7 @@ void FlowNetwork::refresh_link(std::size_t index, Time now,
   const Bandwidth cap = link_capacity(link);
   // Max-min filling must never over-subscribe a directed link (small
   // relative slack absorbs progressive-filling rounding).
-  HERO_INVARIANT(rate <= cap + 1e-6 * std::max(cap, 1.0),
+  HERO_INVARIANT(rate <= cap + 1e-6 * std::max(cap, Bandwidth{1.0}),
                  "link {} allocated {} B/s over capacity {} B/s", index, rate,
                  cap);
   const double util = cap > 0 ? rate / cap : 0.0;
@@ -575,7 +576,8 @@ PathEstimate FlowNetwork::estimate_path(const topo::Path& path) const {
     const std::size_t idx = link.index();
     const Bandwidth cap = link_capacity(link);
     est.latency += graph_->edge(e).latency;
-    const Bandwidth residual = std::max(0.0, cap - link_rate_[idx]);
+    const Bandwidth residual =
+        std::max(Bandwidth{0.0}, cap - link_rate_[idx]);
     if (residual < est.residual) est.residual = residual;
     // Post-admission estimate: a new flow gets at least C/(n+1) on a
     // saturated link (it squeezes the n incumbents down to fair share) and

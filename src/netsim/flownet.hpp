@@ -177,7 +177,7 @@ class FlowNetwork {
     Bytes bytes = 0;         // per-hop payload size
     std::size_t hop = 0;     // current hop index into path.edges
     Bytes hop_left = 0;      // bytes left on the current hop/stream
-    double rate = 0;         // current allocated rate (bytes/s)
+    Bandwidth rate = 0;      // current allocated rate (bytes/s)
     double weight = 1.0;
     bool pipelined = false;  // occupies all hops at once when true
     bool in_flight = false;  // false while waiting out hop latency
@@ -221,7 +221,7 @@ class FlowNetwork {
   /// Weighted progressive filling over `slots` (must be sorted by transfer
   /// id); writes per-slot rates into `rates`. Pure: mutates no flow state.
   void solve_component(const std::vector<std::uint32_t>& slots,
-                       std::vector<double>& rates) const;
+                       std::vector<Bandwidth>& rates) const;
   void refresh_link(std::size_t index, Time now,
                     obs::MetricsRegistry* metrics);
   void validate_against_full_solve();
@@ -239,7 +239,7 @@ class FlowNetwork {
   std::size_t in_flight_count_ = 0;
 
   std::vector<double> degradation_;          // per edge
-  std::vector<double> link_rate_;            // per directed link, busy rate
+  std::vector<Bandwidth> link_rate_;         // per directed link, busy rate
   std::vector<TimeWeighted> link_util_avg_;  // per directed link
   std::vector<Bytes> link_delivered_;        // per directed link
   std::vector<obs::Gauge*> link_gauges_;     // lazily bound metric gauges
@@ -258,9 +258,9 @@ class FlowNetwork {
   std::vector<std::size_t> bfs_stack_;
   std::vector<std::uint32_t> comp_flows_;
   std::vector<std::size_t> comp_links_;
-  std::vector<double> solved_rates_;
+  std::vector<Bandwidth> solved_rates_;
   std::vector<std::uint32_t> validate_flows_;
-  std::vector<double> validate_rates_;
+  std::vector<Bandwidth> validate_rates_;
 
   bool full_solve_ = false;
   bool validate_solves_ = check::enabled();

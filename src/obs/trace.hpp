@@ -37,6 +37,13 @@ using TraceArgs = std::vector<TraceArg>;
 [[nodiscard]] TraceArg arg(std::string key, double value);
 [[nodiscard]] TraceArg arg(std::string key, std::uint64_t value);
 [[nodiscard]] TraceArg arg(std::string key, bool value);
+#if defined(HERO_STRONG_UNITS)
+/// Unit-typed annotations render exactly like their raw double twin.
+template <int T, int D, int K, int W>
+[[nodiscard]] TraceArg arg(std::string key, Quantity<T, D, K, W> value) {
+  return arg(std::move(key), value.value());
+}
+#endif
 
 /// Chrome trace-event phases (the subset this tracer emits).
 enum class Phase : char {

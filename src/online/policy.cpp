@@ -62,7 +62,7 @@ double PolicyTable::cost_of(std::size_t i, Bytes data,
       }
       case DeltaModel::kPaperLiteral: {
         const double b = std::max(p.cost, cfg.cost_floor);
-        delta = data / (cfg.estimation_window * b);
+        delta = raw(data) / (raw(cfg.estimation_window) * b);
         break;
       }
     }
@@ -101,7 +101,7 @@ void PolicyTable::apply_selection(std::size_t selected, Bytes data,
     }
     case DeltaModel::kPaperLiteral: {
       const double b = std::max(sel.cost, cfg.cost_floor);
-      delta = data / (cfg.estimation_window * b);
+      delta = raw(data) / (raw(cfg.estimation_window) * b);
       break;
     }
   }
@@ -126,7 +126,7 @@ void PolicyTable::update_penalties(const net::FlowNetwork* net,
   // Weight of an edge inside the sharing ratio: the monitored busy
   // bandwidth when measurements exist (B(e*) "monitored by GPUs and
   // programmable switches"), otherwise static capacity.
-  auto edge_weight = [&](topo::EdgeId e) -> double {
+  auto edge_weight = [&](topo::EdgeId e) -> Bandwidth {
     const Bandwidth cap = graph_->edge(e).capacity;
     if (net != nullptr) {
       // Busy bandwidth, floored so idle shared links still register.
@@ -143,10 +143,10 @@ void PolicyTable::update_penalties(const net::FlowNetwork* net,
         penalty_[sel][other] = 1.0;
         continue;
       }
-      double shared = 0.0;
-      double total = 0.0;
+      Bandwidth shared = 0.0;
+      Bandwidth total = 0.0;
       for (topo::EdgeId e : policies_[other].edges) {
-        const double w = edge_weight(e);
+        const Bandwidth w = edge_weight(e);
         total += w;
         if (sel_edges.contains(e)) shared += w;
       }

@@ -234,7 +234,7 @@ coll::AllReducePlan OnlineScheduler::plan_all_reduce(GroupId group,
                  obs::arg("policy_id", static_cast<std::uint64_t>(choice)),
                  obs::arg("cost_j", table.cost_of(choice, bytes, config_)),
                  obs::arg("cost_b", table.policy(choice).cost),
-                 obs::arg("bytes", static_cast<std::uint64_t>(bytes)),
+                 obs::arg("bytes", static_cast<std::uint64_t>(raw(bytes))),
                  obs::arg("penalty_deferred", config_.controller_delay > 0)});
   }
   if (obs::MetricsRegistry* m = s.metrics()) {

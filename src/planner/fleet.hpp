@@ -35,9 +35,9 @@ struct FleetPlan {
   std::vector<PlanResult> instances;  ///< packed instances, in plan order
   std::size_t gpus_used = 0;
   // Fleet-aggregate service rates (sums over instances).
-  double service_rate = 0.0;
-  double service_rate_prefill = 0.0;
-  double service_rate_decode = 0.0;
+  Rate service_rate = 0.0;
+  Rate service_rate_prefill = 0.0;
+  Rate service_rate_decode = 0.0;
 };
 
 class FleetPlanner {

@@ -21,7 +21,7 @@ double row_distance(const LatencyMatrix& m, std::size_t i,
                     const std::vector<double>& centroid) {
   double d = 0.0;
   for (std::size_t j = 0; j < m.size(); ++j) {
-    const double diff = m.at(i, j) - centroid[j];
+    const double diff = raw(m.at(i, j)) - centroid[j];
     d += diff * diff;
   }
   return d;
@@ -43,7 +43,7 @@ std::vector<std::vector<std::size_t>> constrained_kmeans(
   {
     std::size_t first = rng.uniform_int(n);
     std::vector<double> row(n);
-    for (std::size_t j = 0; j < n; ++j) row[j] = matrix.at(first, j);
+    for (std::size_t j = 0; j < n; ++j) row[j] = raw(matrix.at(first, j));
     centroids.push_back(row);
     while (centroids.size() < groups) {
       std::vector<double> weights(n, 0.0);
@@ -55,7 +55,7 @@ std::vector<std::vector<std::size_t>> constrained_kmeans(
         weights[i] = best;
       }
       const std::size_t pick = rng.weighted_index(weights);
-      for (std::size_t j = 0; j < n; ++j) row[j] = matrix.at(pick, j);
+      for (std::size_t j = 0; j < n; ++j) row[j] = raw(matrix.at(pick, j));
       centroids.push_back(row);
     }
   }
@@ -96,7 +96,7 @@ std::vector<std::vector<std::size_t>> constrained_kmeans(
       if (assignment[c].empty()) continue;
       std::vector<double> mean(n, 0.0);
       for (std::size_t i : assignment[c]) {
-        for (std::size_t j = 0; j < n; ++j) mean[j] += matrix.at(i, j);
+        for (std::size_t j = 0; j < n; ++j) mean[j] += raw(matrix.at(i, j));
       }
       for (double& v : mean) v /= static_cast<double>(assignment[c].size());
       if (mean != centroids[c]) {

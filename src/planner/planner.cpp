@@ -45,13 +45,13 @@ PoolSplit split_pools(const topo::Graph& graph, Bytes m_req_prefill,
   // the strongest GPUs; decode takes the opposite end).
   struct ServerScore {
     std::int32_t server = -1;
-    double flops = 0.0;
+    WorkRate flops = 0.0;
   };
   const auto by_server = graph.gpus_by_server();
   std::vector<ServerScore> servers;
   for (std::size_t s = 0; s < by_server.size(); ++s) {
     if (by_server[s].empty()) continue;
-    double flops = 0.0;
+    WorkRate flops = 0.0;
     for (topo::NodeId g : by_server[s]) {
       flops = std::max(flops, gpu::spec_of(graph.node(g).gpu.model).flops());
     }
@@ -426,7 +426,7 @@ Time OfflinePlanner::kv_transfer_latency(const ClusterPlan& prefill,
     worst = std::max(worst, latency);
   }
   const Time prefill_span = prefill.t_net + prefill.t_comp;
-  return std::max(0.0, worst - prefill_span);
+  return std::max(Time{0.0}, worst - prefill_span);
 }
 
 PlanResult OfflinePlanner::plan() {
@@ -436,7 +436,7 @@ PlanResult OfflinePlanner::plan() {
   Rng rng(in_.seed);
 
   const auto candidates = generate_candidates();
-  double max_h = 0.0;
+  Rate max_h = 0.0;
   for (const CandidateConfig& cand : candidates) {
     ++best.candidates_evaluated;
     const Bytes m_req_pre =
@@ -460,9 +460,9 @@ PlanResult OfflinePlanner::plan() {
         model_bytes / static_cast<double>(cand.decode.gpus());
     for (std::size_t i = 0;
          i < cand.decode.gpus() && i < pools.decode.size(); ++i) {
-      kv_budget += std::max(0.0, in_.graph->node(pools.decode[i])
-                                         .gpu.memory_free -
-                                     weights_per_gpu);
+      kv_budget += std::max(Bytes{0.0}, in_.graph->node(pools.decode[i])
+                                                .gpu.memory_free -
+                                            weights_per_gpu);
     }
     const std::size_t q_mem_cap = static_cast<std::size_t>(
         std::max(1.0, kv_budget / kv_per_req));
@@ -534,13 +534,13 @@ PlanResult OfflinePlanner::plan() {
         std::min(1.0, static_cast<double>(in_.prefill_token_budget) /
                           static_cast<double>(
                               std::max<std::size_t>(in_.k_in, 1)));
-    const double mu_pre =
+    const Rate mu_pre =
         prefill_clamp *
         static_cast<double>(std::max<std::size_t>(in_.batch_q, 1)) /
-        std::max(t_pre, 1e-9);
-    const double mu_dec = static_cast<double>(q_dec) /
-                          std::max(out_per_req * t_dec_step, 1e-9);
-    const double mu = std::min(mu_pre, mu_dec);
+        std::max(t_pre, Time{1e-9});
+    const Rate mu_dec = static_cast<double>(q_dec) /
+                        std::max(out_per_req * t_dec_step, Time{1e-9});
+    const Rate mu = std::min(mu_pre, mu_dec);
     const QueueEstimate queue =
         pollaczek_khinchine(in_.arrival_rate, 1.0 / mu);
     const Time t_serve = t_pre + t_kv + out_per_req * t_dec_step;
@@ -551,7 +551,7 @@ PlanResult OfflinePlanner::plan() {
     const Time t_req = queue.stable ? queue.queue_delay + t_serve
                                     : std::numeric_limits<Time>::infinity();
     const bool best_is_stable = best.feasible && best.queue.stable;
-    double h = 0.0;
+    Rate h = 0.0;
     bool better = false;
     if (queue.stable) {
       h = 1.0 / t_req;

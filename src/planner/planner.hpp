@@ -60,7 +60,7 @@ struct PlannerInputs {
   std::size_t k_in = 0;     ///< K_in
   std::size_t k_in2 = 0;    ///< K_in2
   std::size_t k_out = 0;    ///< K_out
-  double arrival_rate = 1.0;  ///< lambda (requests/s)
+  Rate arrival_rate = 1.0;  ///< lambda (requests/s)
 
   Time t_sla_prefill = 2.5;  ///< T_sla^pre (TTFT)
   Time t_sla_decode = 0.15;  ///< T_sla^dec (TPOT)
@@ -117,16 +117,16 @@ struct PlanResult {
   Time t_kv = 0.0;       ///< T_f (Eq. 14)
   Time t_serve = 0.0;
   std::size_t q_decode = 1;   ///< memory-feasible decode concurrency
-  double service_rate = 0.0;  ///< min(prefill, decode) capacity (req/s)
+  Rate service_rate = 0.0;  ///< min(prefill, decode) capacity (req/s)
   /// Per-stage service rates (mu_pre / mu_dec of the capacity model); the
   /// fleet planner balances these across replicated instances.
-  double service_rate_prefill = 0.0;
-  double service_rate_decode = 0.0;
+  Rate service_rate_prefill = 0.0;
+  Rate service_rate_decode = 0.0;
   /// The K_in the capacity model was calibrated for; converts a live token
   /// backlog into "equivalent requests" (the fleet router's queue term).
   std::size_t planned_k_in = 0;
   QueueEstimate queue;
-  double throughput_h = 0.0;  ///< H = 1 / T_req
+  Rate throughput_h = 0.0;  ///< H = 1 / T_req
 
   // Solver telemetry. The solver itself is deterministic, so its effort is
   // reported in deterministic work units (candidates x perturbation

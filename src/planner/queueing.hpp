@@ -19,7 +19,7 @@ struct QueueEstimate {
   bool stable = true;
 };
 
-[[nodiscard]] inline QueueEstimate pollaczek_khinchine(double arrival_rate,
+[[nodiscard]] inline QueueEstimate pollaczek_khinchine(Rate arrival_rate,
                                                        Time service_time) {
   QueueEstimate est;
   if (arrival_rate <= 0.0 || service_time <= 0.0) return est;

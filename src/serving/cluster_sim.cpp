@@ -44,7 +44,7 @@ namespace {
 gpu::GpuSpec slowest_spec(const topo::Graph& g,
                           const std::vector<topo::NodeId>& gpus) {
   gpu::GpuSpec worst;
-  double worst_flops = std::numeric_limits<double>::infinity();
+  WorkRate worst_flops = std::numeric_limits<WorkRate>::infinity();
   for (topo::NodeId id : gpus) {
     gpu::GpuSpec s = gpu::spec_of(g.node(id).gpu.model);
     if (s.flops() < worst_flops) {
@@ -74,7 +74,8 @@ ClusterSim::ClusterSim(net::FlowNetwork& network,
       static_cast<double>(plan_.decode.parallel.gpus());
   for (topo::NodeId g : decode_gpus_) {
     kv_budget_ += std::max(
-        0.0, network_->graph().node(g).gpu.memory_free - weights_per_gpu);
+        Bytes{0.0},
+        network_->graph().node(g).gpu.memory_free - weights_per_gpu);
   }
 }
 
@@ -476,12 +477,12 @@ ServingReport ClusterSim::report(std::size_t expected) const {
     HERO_INVARIANT(ar->generated + 1 >= ar->req.output_tokens,
                    "req {}: retired after {} of {} tokens", ar->req.id,
                    ar->generated + 1, ar->req.output_tokens);
-    report.ttft.add(ttft);
+    report.ttft.add(raw(ttft));
     Time tpot = 0.0;
     if (ar->req.output_tokens > 1) {
       tpot = (ar->finish - ar->first_token) /
              static_cast<double>(ar->req.output_tokens - 1);
-      report.tpot.add(tpot);
+      report.tpot.add(raw(tpot));
     }
     if (ttft <= opts_.sla_ttft &&
         (ar->req.output_tokens <= 1 || tpot <= opts_.sla_tpot)) {

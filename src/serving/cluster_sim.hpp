@@ -50,7 +50,7 @@ struct ServingOptions {
   gpu::KernelModelOptions kernel;
   std::uint64_t seed = 1;
   /// Abort the run if simulated time exceeds this (hung/overloaded system).
-  Time max_sim_time = 3600.0;
+  Time max_sim_time = 3600.0 * units::sec;
   /// Per-GPU compute slowdown hook (fault injection): returns the current
   /// multiplier (>= 1) applied to kernel times of stages containing the
   /// GPU; a stage runs at the pace of its slowest member. Null = 1.0
@@ -86,8 +86,8 @@ struct ServingReport {
   Percentiles tpot;
   double sla_attainment = 0.0;  ///< fraction meeting both TTFT and TPOT SLAs
   Time makespan = 0.0;
-  double requests_per_second = 0.0;
-  double per_gpu_goodput = 0.0;  ///< the paper's scalability metric basis
+  Rate requests_per_second = 0.0;
+  Rate per_gpu_goodput = 0.0;  ///< the paper's scalability metric basis
   double kv_utilization_avg = 0.0;  ///< Fig. 10 metric
   double kv_utilization_peak = 0.0;
   std::vector<KvSample> kv_timeline;  ///< occupancy at every change point

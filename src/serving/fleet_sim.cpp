@@ -75,7 +75,7 @@ FleetReport FleetSim::run(const wl::Trace& trace) {
   ServingReport& agg = fleet.aggregate;
   double within_sla = 0.0;
   Bytes kv_budget_total = 0.0;
-  double kv_avg_weighted = 0.0;
+  Bytes kv_avg_weighted = 0.0;
   for (auto& inst : instances_) {
     inst->begin();  // close the KV-occupancy time series at `now`
     ServingReport rep = inst->report(inst->submitted_count());

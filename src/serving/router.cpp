@@ -76,8 +76,8 @@ double Router::cost_for(const Instance& inst,
   // lowest-id tie-break and funnel whole bursts to one instance.
   const double k_in = static_cast<double>(
       std::max<std::size_t>(plan.planned_k_in, 1));
-  const double mu_pre = std::max(plan.service_rate_prefill, 1e-9);
-  const double mu_dec = std::max(plan.service_rate_decode, 1e-9);
+  const Rate mu_pre = std::max(plan.service_rate_prefill, Rate{1e-9});
+  const Rate mu_dec = std::max(plan.service_rate_decode, Rate{1e-9});
   const double backlog_reqs =
       static_cast<double>(load.prefill_backlog_tokens +
                           request.input_tokens) /
@@ -91,7 +91,7 @@ double Router::cost_for(const Instance& inst,
   // the momentarily-cheapest instance (shallower batches, better TPOT and
   // drain tail) but stays an order of magnitude under the serialization
   // reading (1/mu_dec each), which would swamp the prefill-backlog signal.
-  const double queue_s =
+  const Time queue_s =
       backlog_reqs / mu_pre + std::max(0.0, decode_overflow) / mu_dec +
       config_.decode_interference *
           static_cast<double>(load.decode_requests) / mu_dec;
@@ -102,9 +102,9 @@ double Router::cost_for(const Instance& inst,
   // when the load signals are flat: the fleet's drain tail is set by where
   // the last long-output requests land, and parking one on the slowest
   // decoder stretches the makespan long after every queue has emptied.
-  const double completion_s = config_.completion_weight *
-                              static_cast<double>(request.output_tokens) *
-                              plan.t_decode;
+  const Time completion_s = config_.completion_weight *
+                            static_cast<double>(request.output_tokens) *
+                            plan.t_decode;
 
   // KV-transfer latency over the current flow network: the request's
   // per-GPU KV shard across the worst pairing path at the rate a new flow
@@ -115,7 +115,7 @@ double Router::cost_for(const Instance& inst,
   // every instance's estimate to infinity at once and collapse the
   // comparison into the lowest-id tie-break — the exact herding the cost
   // model exists to prevent.
-  double kv_s = 0.0;
+  Time kv_s = 0.0;
   const Bytes bytes = opts.model.kv_transfer_bytes_per_gpu(
       request.input_tokens, plan.prefill.parallel.p_tens);
   for (const topo::Path& path : inst.kv_paths) {
@@ -128,8 +128,8 @@ double Router::cost_for(const Instance& inst,
     kv_s = std::max(kv_s, latency);
   }
 
-  return config_.queue_weight * queue_s + completion_s +
-         config_.kv_weight * kv_s;
+  return raw(config_.queue_weight * queue_s + completion_s +
+             config_.kv_weight * kv_s);
 }
 
 double Router::cost(std::size_t id, const wl::Request& request) const {

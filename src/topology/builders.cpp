@@ -184,7 +184,7 @@ Graph make_fleet_cluster(const FleetClusterOptions& opts) {
 
   // Each rack's aggregate NIC bandwidth, cut by the oversubscription factor
   // and split evenly over the core uplinks.
-  const double rack_nic_bw =
+  const Bandwidth rack_nic_bw =
       static_cast<double>(opts.servers_per_rack * opts.gpus_per_server) *
       opts.links.ethernet;
   const Bandwidth uplink_bw =

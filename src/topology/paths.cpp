@@ -17,7 +17,7 @@ struct detail::Sssp {
     std::uint8_t via = 0;
     EdgeId edge = kInvalidEdge;
   };
-  std::vector<std::array<double, 2>> dist;
+  std::vector<std::array<Time, 2>> dist;
   std::vector<std::array<Prev, 2>> prev;
 };
 
@@ -35,7 +35,7 @@ Bandwidth edge_bandwidth(const Graph& g, EdgeId e,
 // be enforced: leaving an interior GPU requires the incoming or outgoing hop
 // to be NVLink.
 struct State {
-  double dist = 0.0;
+  Time dist = 0.0;
   NodeId node = kInvalidNode;
   std::uint8_t via_nvlink = 0;  // 1 if the edge that reached `node` was NVLink
   bool operator>(const State& o) const { return dist > o.dist; }
@@ -43,7 +43,7 @@ struct State {
 
 SearchResult dijkstra(const Graph& g, NodeId src, const PathOptions& opts,
                       std::span<const double> edge_weight_scale) {
-  const double inf = std::numeric_limits<double>::infinity();
+  const Time inf = std::numeric_limits<Time>::infinity();
   SearchResult r;
   r.dist.assign(g.node_count(), {inf, inf});
   r.prev.assign(g.node_count(), {});
@@ -75,9 +75,9 @@ SearchResult dijkstra(const Graph& g, NodeId src, const PathOptions& opts,
       }
       const Bandwidth bw = edge_bandwidth(g, adj.edge, opts.residual_bw);
       if (bw <= 0) continue;
-      double w = opts.ref_bytes / bw + e.latency;
+      Time w = opts.ref_bytes / bw + e.latency;
       if (!edge_weight_scale.empty()) w *= edge_weight_scale[adj.edge];
-      const double nd = cur.dist + w;
+      const Time nd = cur.dist + w;
       const std::uint8_t via = e.kind == LinkKind::kNvLink ? 1 : 0;
       if (nd < r.dist[adj.peer][via]) {
         r.dist[adj.peer][via] = nd;
@@ -94,7 +94,7 @@ std::optional<Path> extract_path(const SearchResult& r, NodeId src,
                                  NodeId dst) {
   const std::uint8_t best_via =
       r.dist[dst][0] <= r.dist[dst][1] ? std::uint8_t{0} : std::uint8_t{1};
-  if (r.dist[dst][best_via] == std::numeric_limits<double>::infinity()) {
+  if (r.dist[dst][best_via] == std::numeric_limits<Time>::infinity()) {
     return std::nullopt;
   }
   Path p;

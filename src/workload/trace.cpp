@@ -48,8 +48,8 @@ Trace generate_trace(const TraceOptions& opts) {
 
   // Bursty: two-state MMPP preserving the requested mean rate.
   const double f = std::clamp(opts.burst_fraction, 0.01, 0.99);
-  const double high_rate = opts.rate * std::max(opts.burst_multiplier, 1.0);
-  double low_rate =
+  const Rate high_rate = opts.rate * std::max(opts.burst_multiplier, 1.0);
+  Rate low_rate =
       (opts.rate - f * high_rate) / (1.0 - f);
   low_rate = std::max(low_rate, 0.05 * opts.rate);
 
@@ -59,8 +59,8 @@ Trace generate_trace(const TraceOptions& opts) {
   bool in_burst = false;
   Time state_until = 0.0;
   if (opts.bursty) {
-    state_until = rng.exponential(1.0 / ((1.0 - f) / f *
-                                         opts.burst_mean_duration));
+    state_until = rng.exponential(raw(1.0 / ((1.0 - f) / f *
+                                              opts.burst_mean_duration)));
   }
 
   for (std::size_t i = 0; i < opts.count; ++i) {
@@ -71,11 +71,11 @@ Trace generate_trace(const TraceOptions& opts) {
                                       ? opts.burst_mean_duration
                                       : (1.0 - f) / f *
                                             opts.burst_mean_duration;
-        state_until += rng.exponential(1.0 / mean_sojourn);
+        state_until += rng.exponential(raw(1.0 / mean_sojourn));
       }
-      now += rng.exponential(in_burst ? high_rate : low_rate);
+      now += rng.exponential(raw(in_burst ? high_rate : low_rate));
     } else {
-      now += rng.exponential(opts.rate);
+      now += rng.exponential(raw(opts.rate));
     }
     Request r;
     r.id = i;
@@ -101,7 +101,7 @@ Trace generate_diurnal_trace(const DiurnalOptions& opts) {
     throw std::invalid_argument("generate_diurnal_trace: amplitude in [0,1)");
   }
   Rng rng(opts.base.seed);
-  const double peak = opts.base.rate * (1.0 + opts.amplitude);
+  const Rate peak = opts.base.rate * (1.0 + opts.amplitude);
 
   Trace trace;
   trace.reserve(opts.base.count);
@@ -109,8 +109,8 @@ Trace generate_diurnal_trace(const DiurnalOptions& opts) {
   while (trace.size() < opts.base.count) {
     // Thinning: candidate arrivals at the peak rate, accepted with
     // probability rate(t) / peak.
-    now += rng.exponential(peak);
-    const double rate_now =
+    now += rng.exponential(raw(peak));
+    const Rate rate_now =
         opts.base.rate *
         (1.0 + opts.amplitude *
                    std::sin(2.0 * 3.14159265358979323846 * now /

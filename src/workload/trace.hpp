@@ -49,7 +49,7 @@ struct LengthDistribution {
 [[nodiscard]] LengthDistribution longbench_lengths();
 
 struct TraceOptions {
-  double rate = 1.0;        ///< mean arrivals per second (lambda of Table I)
+  Rate rate = 1.0;          ///< mean arrivals per second (lambda of Table I)
   std::size_t count = 100;  ///< number of requests
   LengthDistribution lengths;
   std::uint64_t seed = 42;
@@ -107,7 +107,7 @@ class WorkloadEstimator {
 struct TraceStats {
   double mean_input = 0.0;
   double mean_output = 0.0;
-  double mean_rate = 0.0;  ///< count / makespan
+  Rate mean_rate = 0.0;  ///< count / makespan
   std::size_t count = 0;
 };
 

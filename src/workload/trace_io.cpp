@@ -80,11 +80,11 @@ void save_trace_csv(const std::string& path, const Trace& trace) {
   write_trace_csv(out, trace);
 }
 
-Trace rescale_rate(Trace trace, double rate) {
+Trace rescale_rate(Trace trace, Rate rate) {
   if (trace.size() < 2 || rate <= 0) return trace;
   const Time span = trace.back().arrival - trace.front().arrival;
   if (span <= 0) return trace;
-  const double current = static_cast<double>(trace.size() - 1) / span;
+  const Rate current = static_cast<double>(trace.size() - 1) / span;
   const double scale = current / rate;
   const Time origin = trace.front().arrival;
   for (Request& r : trace) {

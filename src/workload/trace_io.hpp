@@ -33,6 +33,6 @@ void save_trace_csv(const std::string& path, const Trace& trace);
 /// (requests/s). Useful for replaying one recorded trace across the rate
 /// sweep of a scalability experiment. Traces with fewer than 2 requests
 /// are returned unchanged.
-[[nodiscard]] Trace rescale_rate(Trace trace, double rate);
+[[nodiscard]] Trace rescale_rate(Trace trace, Rate rate);
 
 }  // namespace hero::wl

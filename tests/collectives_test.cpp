@@ -57,13 +57,13 @@ TEST(CostModel, RingFormulaEq11) {
   // 2 (P-1) * (V/P) / B.
   const Time t = ring_all_reduce_latency(4, 8.0 * units::MB,
                                          100.0 * units::Gbps);
-  EXPECT_NEAR(t, 2.0 * 3.0 * (2.0 * units::MB / (12.5e9)), 1e-12);
+  EXPECT_NEAR(raw(t), raw(2.0 * 3.0 * (2.0 * units::MB / (12.5e9))), 1e-12);
 }
 
 TEST(CostModel, RingDegenerateCases) {
-  EXPECT_DOUBLE_EQ(ring_all_reduce_latency(1, 1e6, 1e9), 0.0);
-  EXPECT_DOUBLE_EQ(ring_all_reduce_latency(4, 0.0, 1e9), 0.0);
-  EXPECT_TRUE(std::isinf(ring_all_reduce_latency(4, 1e6, 0.0)));
+  EXPECT_DOUBLE_EQ(raw(ring_all_reduce_latency(1, 1e6, 1e9)), raw(0.0));
+  EXPECT_DOUBLE_EQ(raw(ring_all_reduce_latency(4, 0.0, 1e9)), raw(0.0));
+  EXPECT_TRUE(std::isinf(raw(ring_all_reduce_latency(4, 1e6, 0.0))));
 }
 
 TEST(CostModel, RingOnPathsUsesWorstNeighbor) {
@@ -77,7 +77,7 @@ TEST(CostModel, RingOnPathsUsesWorstNeighbor) {
   // Each neighbor path is 2 hops; chunk = V/3; steps = 4.
   const Bytes v = 3.0 * units::MB;
   const Time t = ring_all_reduce_latency_on_paths(g, ring, v);
-  EXPECT_NEAR(t, 4.0 * 2.0 * (units::MB / 12.5e9), 1e-9);
+  EXPECT_NEAR(raw(t), raw(4.0 * 2.0 * (units::MB / 12.5e9)), 1e-9);
 }
 
 TEST(CostModel, InaOnPathsEq8) {
@@ -93,7 +93,7 @@ TEST(CostModel, InaOnPathsEq8) {
   const Time t =
       ina_all_reduce_latency_on_paths(g, up, down, 1.0 * units::MB, cfg);
   // 1 hop up (80us) + 1us agg + 1 hop down (80us).
-  EXPECT_NEAR(t, 161.0 * units::us, 1e-9);
+  EXPECT_NEAR(raw(t), raw(161.0 * units::us), 1e-9);
 }
 
 TEST(CostModel, HierarchicalAddsLocalAndBroadcast) {
@@ -125,7 +125,7 @@ TEST_P(RingSizeTest, EngineMatchesClosedForm) {
   // are independent, so a step costs 2 hops of chunk serialization.
   const Time expected =
       2.0 * (p - 1) * 2.0 * (volume / p / (100.0 * units::Gbps / 8 * 8));
-  EXPECT_NEAR(done, expected, expected * 0.05 + 2e-6);
+  EXPECT_NEAR(raw(done), raw(expected), raw(expected * 0.05 + 2e-6));
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, RingSizeTest, ::testing::Values(2, 3, 4, 8));
@@ -146,11 +146,13 @@ TEST(Engine, InaSyncPhases) {
   f.simulator.run();
   ASSERT_TRUE(done);
   // Collection: all three 1MB flows in parallel on separate uplinks: 80us.
-  EXPECT_NEAR(result.collected - result.start, 80.0 * units::us,
-              1.0 * units::us);
+  EXPECT_NEAR(raw(result.collected - result.start),
+              raw(80.0 * units::us),
+              raw(1.0 * units::us));
   // Distribution adds agg (1us) + 80us.
-  EXPECT_NEAR(result.end - result.start, 161.0 * units::us,
-              2.0 * units::us);
+  EXPECT_NEAR(raw(result.end - result.start),
+              raw(161.0 * units::us),
+              raw(2.0 * units::us));
   EXPECT_FALSE(result.used_fallback);
 }
 
@@ -367,7 +369,7 @@ TEST(Engine, TransferDeliversCallback) {
   f.engine->transfer(route(f.graph.gpus()[0], f.graph.gpus()[1]),
                      1.0 * units::MB, [&] { done = f.simulator.now(); });
   f.simulator.run();
-  EXPECT_NEAR(done, 160.0 * units::us, 1.0 * units::us);
+  EXPECT_NEAR(raw(done), raw(160.0 * units::us), raw(1.0 * units::us));
 }
 
 TEST(Engine, OpsCompletedCounter) {

@@ -18,16 +18,25 @@ namespace {
 // --- units ---
 
 TEST(Units, BandwidthConversions) {
-  EXPECT_DOUBLE_EQ(100.0 * units::Gbps, 12.5e9);  // 100 Gbit/s = 12.5 GB/s
-  EXPECT_DOUBLE_EQ(600.0 * units::GBps, 600e9);
-  EXPECT_DOUBLE_EQ(1.0 * units::MiB, 1048576.0);
+  EXPECT_DOUBLE_EQ(raw(100.0 * units::Gbps), 12.5e9);  // 100 Gbit/s = 12.5 GB/s
+  EXPECT_DOUBLE_EQ(raw(600.0 * units::GBps), 600e9);
+  EXPECT_DOUBLE_EQ(raw(1.0 * units::MiB), 1048576.0);
 }
 
 TEST(Units, TransferTime) {
   // 1 MB over 100 Gbps is 80 us (the Fig. 2 per-hop number).
-  EXPECT_NEAR(transfer_time(1.0 * units::MB, 100.0 * units::Gbps),
-              80.0 * units::us, 1e-12);
-  EXPECT_DOUBLE_EQ(transfer_time(123.0, 0.0), 0.0);
+  EXPECT_NEAR(raw(transfer_time(1.0 * units::MB, 100.0 * units::Gbps)),
+              raw(80.0 * units::us), 1e-12);
+}
+
+TEST(Units, TransferOverDeadLinkNeverCompletes) {
+  // Regression: a zero-bandwidth link used to "complete" transfers in 0 s,
+  // silently pricing dead paths as free. It must be infinitely slow.
+  EXPECT_TRUE(std::isinf(raw(transfer_time(123.0 * units::B, Bandwidth{0.0}))));
+  EXPECT_GT(transfer_time(1.0 * units::B, Bandwidth{0.0}),
+            transfer_time(1.0 * units::GiB, 1.0 * units::bps));
+  EXPECT_TRUE(
+      std::isinf(raw(transfer_time(1.0 * units::MiB, -1.0 * units::GBps))));
 }
 
 // --- rng ---

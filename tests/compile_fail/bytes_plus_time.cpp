@@ -1,0 +1,20 @@
+// Compile-fail fixture: adding bytes to seconds has no dimension, so
+// under -DHERO_STRONG_UNITS this translation unit must NOT compile
+// (Quantity's hidden-friend operator+ only accepts its own dimension).
+// The CTest registered in tests/CMakeLists.txt runs the compiler with
+// -fsyntax-only and WILL_FAIL; control_ok.cpp is the positive control
+// proving the invocation itself is sound.
+#include "common/units.hpp"
+
+#if !defined(HERO_STRONG_UNITS)
+// In the plain-double build everything is double and this file would
+// compile, inverting the WILL_FAIL expectation; the harness always
+// defines HERO_STRONG_UNITS, but keep the guard honest.
+#error "this fixture is only meaningful with -DHERO_STRONG_UNITS"
+#endif
+
+double nonsense() {
+  hero::Bytes data = 4096.0 * hero::units::B;
+  hero::Time latency = 1.0 * hero::units::ms;
+  return hero::raw(data + latency);  // must not compile: Bytes + Time
+}

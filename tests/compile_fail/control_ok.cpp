@@ -1,0 +1,17 @@
+// Positive control for the compile-fail harness: identical shape to
+// bytes_plus_time.cpp but dimensionally sound, so it MUST compile under
+// -DHERO_STRONG_UNITS. If this control fails, the harness (include
+// paths, standard flag, strong-units define) is broken — not the
+// dimension system.
+#include "common/units.hpp"
+
+#if !defined(HERO_STRONG_UNITS)
+#error "this fixture is only meaningful with -DHERO_STRONG_UNITS"
+#endif
+
+double sensible() {
+  hero::Bytes data = 4096.0 * hero::units::B;
+  hero::Bandwidth bw = 100.0 * hero::units::Gbps;
+  hero::Time latency = data / bw + 1.0 * hero::units::ms;
+  return hero::raw(latency);
+}

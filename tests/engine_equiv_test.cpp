@@ -44,7 +44,7 @@ FlowScript make_script(const topo::Graph& g, std::uint64_t seed) {
     auto p = topo::shortest_path(g, src, dst);
     if (!p || p->empty()) continue;
     FlowScript::Entry e;
-    e.at = rng.uniform(0.0, 200.0 * units::us);
+    e.at = rng.uniform(0.0, raw(200.0 * units::us));
     e.path = *p;
     e.bytes = rng.uniform(0.05, 4.0) * units::MB;
     e.pipelined = rng.uniform(0.0, 1.0) < 0.3;

@@ -35,15 +35,15 @@ TEST(FaultPlanParse, ParsesEveryField) {
   ASSERT_EQ(plan.events.size(), 2u);
   const FaultEvent& flap = plan.events[0];
   EXPECT_EQ(flap.kind, FaultKind::kLinkFlap);
-  EXPECT_DOUBLE_EQ(flap.at, 2.5);
-  EXPECT_DOUBLE_EQ(flap.duration, 1.0);
+  EXPECT_DOUBLE_EQ(raw(flap.at), raw(2.5));
+  EXPECT_DOUBLE_EQ(raw(flap.duration), raw(1.0));
   EXPECT_EQ(flap.target, "w0g1-sw1");
   EXPECT_DOUBLE_EQ(flap.magnitude, 0.05);
   EXPECT_EQ(flap.count, 4u);
-  EXPECT_DOUBLE_EQ(flap.period, 3.0);
+  EXPECT_DOUBLE_EQ(raw(flap.period), raw(3.0));
   const FaultEvent& slots = plan.events[1];
   EXPECT_EQ(slots.kind, FaultKind::kSlotExhaust);
-  EXPECT_DOUBLE_EQ(slots.duration, 0.0);  // default: permanent
+  EXPECT_DOUBLE_EQ(raw(slots.duration), 0.0);  // default: permanent
   EXPECT_EQ(slots.count, 1u);
 }
 
@@ -394,8 +394,8 @@ TEST(ChaosDeterminism, SameSeedSamePlanSameReport) {
   ASSERT_TRUE(b.ok());
   EXPECT_GT(a.report.completed, 0u);
   EXPECT_EQ(a.report.completed, b.report.completed);
-  EXPECT_DOUBLE_EQ(a.report.requests_per_second,
-                   b.report.requests_per_second);
+  EXPECT_DOUBLE_EQ(raw(a.report.requests_per_second),
+                   raw(b.report.requests_per_second));
   EXPECT_DOUBLE_EQ(a.report.ttft.p99(), b.report.ttft.p99());
   EXPECT_DOUBLE_EQ(a.report.tpot.p99(), b.report.tpot.p99());
   EXPECT_EQ(a.report.ina_fallbacks, b.report.ina_fallbacks);

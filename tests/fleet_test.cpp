@@ -56,10 +56,8 @@ TEST(FleetPlanner, PacksDisjointInstances) {
   EXPECT_EQ(plan.gpus_used, total);
   EXPECT_GT(plan.service_rate_prefill, 0.0);
   EXPECT_GT(plan.service_rate_decode, 0.0);
-  EXPECT_DOUBLE_EQ(
-      plan.service_rate,
-      plan.instances[0].service_rate + plan.instances[1].service_rate +
-          plan.instances[2].service_rate + plan.instances[3].service_rate);
+  EXPECT_DOUBLE_EQ(raw(plan.service_rate),
+                   raw(plan.instances[0].service_rate + plan.instances[1].service_rate + plan.instances[2].service_rate + plan.instances[3].service_rate));
 }
 
 TEST(FleetPlanner, ReportsWhichInstanceFailed) {
@@ -254,8 +252,8 @@ TEST(FleetExperiment, DeterministicForSeed) {
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     EXPECT_EQ(a.report.dispatched, b.report.dispatched);
-    EXPECT_DOUBLE_EQ(a.report.aggregate.makespan,
-                     b.report.aggregate.makespan);
+    EXPECT_DOUBLE_EQ(raw(a.report.aggregate.makespan),
+                     raw(b.report.aggregate.makespan));
     EXPECT_DOUBLE_EQ(a.report.aggregate.ttft.p90(),
                      b.report.aggregate.ttft.p90());
   }

@@ -51,7 +51,7 @@ TEST(FlowNetwork, SingleTransferStoreAndForwardTime) {
                         }});
   f.simulator.run();
   // Two sequential 80 us hops.
-  EXPECT_NEAR(done, 160.0 * units::us, 1e-9);
+  EXPECT_NEAR(raw(done), raw(160.0 * units::us), 1e-9);
 }
 
 TEST(FlowNetwork, HopLatencyAdds) {
@@ -62,7 +62,7 @@ TEST(FlowNetwork, HopLatencyAdds) {
                           done = f.simulator.now();
                         }});
   f.simulator.run();
-  EXPECT_NEAR(done, 162.0 * units::us, 1e-9);
+  EXPECT_NEAR(raw(done), raw(162.0 * units::us), 1e-9);
 }
 
 TEST(FlowNetwork, ZeroBytesCompletesImmediatelyButAsync) {
@@ -98,7 +98,7 @@ TEST(FlowNetwork, TwoFlowsShareLinkFairly) {
   ASSERT_EQ(done.size(), 2u);
   // First hop shared: 160 us for both; second hop then shared again.
   // Both flows finish at 320 us (fair sharing all the way).
-  EXPECT_NEAR(done[1], 320.0 * units::us, 1.0 * units::us);
+  EXPECT_NEAR(raw(done[1]), raw(320.0 * units::us), raw(1.0 * units::us));
 }
 
 TEST(FlowNetwork, WeightedSharing) {
@@ -142,8 +142,8 @@ TEST(FlowNetwork, DisjointPathsDoNotInterfere) {
                         }});
   f.simulator.run();
   ASSERT_EQ(done.size(), 2u);
-  EXPECT_NEAR(done[0], 160.0 * units::us, 1e-9);
-  EXPECT_NEAR(done[1], 160.0 * units::us, 1e-9);
+  EXPECT_NEAR(raw(done[0]), raw(160.0 * units::us), 1e-9);
+  EXPECT_NEAR(raw(done[1]), raw(160.0 * units::us), 1e-9);
 }
 
 TEST(FlowNetwork, CancelStopsTransfer) {
@@ -171,15 +171,15 @@ TEST(FlowNetwork, EstimatePathResidualDropsUnderLoad) {
   Fixture f(two_hop_graph());
   const Path p = path_of(f.graph, "a", "b");
   const PathEstimate before = f.net->estimate_path(p);
-  EXPECT_NEAR(before.residual, 100 * units::Gbps, 1.0);
-  EXPECT_NEAR(before.fair_share, 100 * units::Gbps, 1.0);
+  EXPECT_NEAR(raw(before.residual), raw(100 * units::Gbps), 1.0);
+  EXPECT_NEAR(raw(before.fair_share), raw(100 * units::Gbps), 1.0);
   f.net->start_transfer(p, 10.0 * units::MB, {});
   f.simulator.run_until(1.0 * units::us);
   const PathEstimate during = f.net->estimate_path(p);
-  EXPECT_NEAR(during.residual, 0.0, 1.0);
+  EXPECT_NEAR(raw(during.residual), raw(0.0), 1.0);
   // Saturated link: a new flow would still be admitted at cap / (n + 1),
   // not at the zero residual (the burst-herding fix).
-  EXPECT_NEAR(during.fair_share, 50 * units::Gbps, 1.0);
+  EXPECT_NEAR(raw(during.fair_share), raw(50 * units::Gbps), 1.0);
   EXPECT_EQ(during.bottleneck_link, 0u);
 }
 
@@ -194,7 +194,7 @@ TEST(FlowNetwork, EstimatePathEmptyPath) {
 TEST(FlowNetwork, EstimatePathAccumulatesLatency) {
   Fixture f(two_hop_graph(1.0 * units::us));
   const PathEstimate est = f.net->estimate_path(path_of(f.graph, "a", "b"));
-  EXPECT_NEAR(est.latency, 2.0 * units::us, 1e-12);
+  EXPECT_NEAR(raw(est.latency), raw(2.0 * units::us), 1e-12);
 }
 
 TEST(FlowNetwork, EstimatePathIsDirectionAware) {
@@ -204,8 +204,8 @@ TEST(FlowNetwork, EstimatePathIsDirectionAware) {
   f.simulator.run_until(1.0 * units::us);
   const PathEstimate fwd = f.net->estimate_path(path_of(f.graph, "a", "b"));
   const PathEstimate rev = f.net->estimate_path(path_of(f.graph, "b", "a"));
-  EXPECT_NEAR(fwd.residual, 0.0, 1.0);
-  EXPECT_NEAR(rev.residual, 100 * units::Gbps, 1.0);
+  EXPECT_NEAR(raw(fwd.residual), raw(0.0), 1.0);
+  EXPECT_NEAR(raw(rev.residual), raw(100 * units::Gbps), 1.0);
 }
 
 TEST(FlowNetwork, DeliveredBytesAccumulate) {
@@ -214,7 +214,7 @@ TEST(FlowNetwork, DeliveredBytesAccumulate) {
   f.simulator.run();
   const topo::Edge& e0 = f.graph.edge(0);
   const DirectedLink fwd{0, e0.a == f.graph.find("a")};
-  EXPECT_NEAR(f.net->delivered_bytes(fwd), 1.0 * units::MB, 1.0);
+  EXPECT_NEAR(raw(f.net->delivered_bytes(fwd)), raw(1.0 * units::MB), 1.0);
 }
 
 TEST(FlowNetwork, LinkDegradationSlowsTransfer) {
@@ -226,7 +226,7 @@ TEST(FlowNetwork, LinkDegradationSlowsTransfer) {
                           done = f.simulator.now();
                         }});
   f.simulator.run();
-  EXPECT_NEAR(done, (160.0 + 80.0) * units::us, 1e-9);
+  EXPECT_NEAR(raw(done), raw((160.0 + 80.0) * units::us), 1e-9);
 }
 
 TEST(FlowNetwork, DegradationValidation) {
@@ -247,7 +247,7 @@ TEST(FlowNetwork, MidFlightDegradationReschedules) {
                        [&] { f.net->set_link_degradation(0, 0.5); });
   f.simulator.run();
   // First hop: 40us at full + 80us at half = 120us; second hop 80us.
-  EXPECT_NEAR(done, 200.0 * units::us, 1.0 * units::us);
+  EXPECT_NEAR(raw(done), raw(200.0 * units::us), raw(1.0 * units::us));
 }
 
 TEST(FlowNetwork, NegativeBytesThrows) {
@@ -282,7 +282,9 @@ TEST_P(FairShareTest, NFlowsCompleteInProportionalTime) {
   f.simulator.run();
   EXPECT_EQ(completed, n);
   // All n share each hop: total time ~ 2 * n * 80us.
-  EXPECT_NEAR(last, 2.0 * n * 80.0 * units::us, n * 2.0 * units::us);
+  EXPECT_NEAR(raw(last),
+              raw(2.0 * n * 80.0 * units::us),
+              raw(n * 2.0 * units::us));
 }
 
 INSTANTIATE_TEST_SUITE_P(FlowCounts, FairShareTest,
@@ -300,7 +302,7 @@ TEST(FlowNetwork, PipelinedTransferUsesBottleneckRate) {
                         std::move(opts));
   f.simulator.run();
   // 2 us total latency + 80 us at the 100 Gbps bottleneck.
-  EXPECT_NEAR(done, 82.0 * units::us, 1e-9);
+  EXPECT_NEAR(raw(done), raw(82.0 * units::us), 1e-9);
 }
 
 TEST(FlowNetwork, PipelinedOccupiesAllHops) {
@@ -359,8 +361,8 @@ TEST(FlowNetwork, PipelinedFasterThanStoreAndForwardOnLongPaths) {
   const Time start = f.simulator.now();
   f.net->start_transfer(p, 1.0 * units::MB, std::move(opts));
   f.simulator.run();
-  EXPECT_NEAR(saf, 4.0 * 80.0 * units::us, 1e-9);
-  EXPECT_NEAR(pipe - start, 80.0 * units::us, 1e-9);
+  EXPECT_NEAR(raw(saf), raw(4.0 * 80.0 * units::us), 1e-9);
+  EXPECT_NEAR(raw(pipe - start), raw(80.0 * units::us), 1e-9);
 }
 
 TEST(FlowNetwork, ManyRandomFlowsAllComplete) {
@@ -380,7 +382,7 @@ TEST(FlowNetwork, ManyRandomFlowsAllComplete) {
       ++completed;  // same node; nothing to move
       continue;
     }
-    f.simulator.schedule(rng.uniform(0.0, 100.0 * units::us), [&f, &completed,
+    f.simulator.schedule(rng.uniform(0.0, raw(100.0 * units::us)), [&f, &completed,
                                                                path = *p,
                                                                bytes =
                                                                    rng.uniform(

@@ -12,7 +12,7 @@ TEST(GpuSpec, DatasheetValues) {
   const GpuSpec a100 = spec_of(topo::GpuModel::kA100_40);
   EXPECT_EQ(a100.name, "A100-40GB");
   EXPECT_DOUBLE_EQ(a100.fp16_tflops, 312.0);
-  EXPECT_DOUBLE_EQ(a100.memory, 40.0 * units::GB);
+  EXPECT_DOUBLE_EQ(raw(a100.memory), raw(40.0 * units::GB));
   EXPECT_GT(a100.flops(), 1e14);
 
   const GpuSpec v100 = spec_of(topo::GpuModel::kV100_32);
@@ -43,16 +43,16 @@ TEST(KernelModel, PrefillScalesInverselyWithTp) {
 
 TEST(KernelModel, PrefillScalesWithLayers) {
   const KernelModel hw = a100_model();
-  EXPECT_NEAR(hw.prefill_time(2048, 1 << 21, 64, 4),
-              2.0 * hw.prefill_time(2048, 1 << 21, 32, 4),
-              0.1 * hw.prefill_time(2048, 1 << 21, 64, 4));
+  EXPECT_NEAR(raw(hw.prefill_time(2048, 1 << 21, 64, 4)),
+              raw(2.0 * hw.prefill_time(2048, 1 << 21, 32, 4)),
+              raw(0.1 * hw.prefill_time(2048, 1 << 21, 64, 4)));
 }
 
 TEST(KernelModel, ZeroWorkIsFree) {
   const KernelModel hw = a100_model();
-  EXPECT_DOUBLE_EQ(hw.prefill_time(0, 0, 64, 4), 0.0);
-  EXPECT_DOUBLE_EQ(hw.decode_time(0, 100, 64, 4), 0.0);
-  EXPECT_DOUBLE_EQ(hw.decode_time(4, 100, 0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(raw(hw.prefill_time(0, 0, 64, 4)), raw(0.0));
+  EXPECT_DOUBLE_EQ(raw(hw.decode_time(0, 100, 64, 4)), raw(0.0));
+  EXPECT_DOUBLE_EQ(raw(hw.decode_time(4, 100, 0, 4)), raw(0.0));
 }
 
 TEST(KernelModel, DecodeIsMemoryBoundAtSmallBatch) {
@@ -74,7 +74,7 @@ TEST(KernelModel, NoiseJittersResults) {
   const Time a = hw.prefill_time(2048, 1 << 21, 64, 4);
   const Time b = hw.prefill_time(2048, 1 << 21, 64, 4);
   EXPECT_NE(a, b);
-  EXPECT_NEAR(a, b, 0.5 * a);
+  EXPECT_NEAR(raw(a), raw(b), raw(0.5 * a));
 }
 
 TEST(KernelModel, A100PrefillLatencyPlausible) {
@@ -147,11 +147,11 @@ TEST(ProfileFit, PredictsHeldOutShapes) {
   // Shapes not on the profiling grid.
   const Time pred = model.prefill(3000, 3000 * 750, 48, 4);
   const Time truth = hw.prefill_time(3000, 3000 * 750, 48, 4);
-  EXPECT_NEAR(pred, truth, 0.15 * truth);
+  EXPECT_NEAR(raw(pred), raw(truth), raw(0.15 * truth));
 
   const Time dpred = model.decode(3000, 48, 4);
   const Time dtruth = hw.decode_time(4, 3000, 48, 4);
-  EXPECT_NEAR(dpred, dtruth, 0.25 * dtruth);
+  EXPECT_NEAR(raw(dpred), raw(dtruth), raw(0.25 * dtruth));
 }
 
 TEST(LatencyModel, Eq12Eq13Structure) {
@@ -162,9 +162,9 @@ TEST(LatencyModel, Eq12Eq13Structure) {
   const Time full = model.prefill(2048, 1 << 21, 64, 4);
   const Time half = model.prefill(2048, 1 << 21, 32, 4);
   // T(L) = a*L + C3 with small C3: doubling layers roughly doubles latency.
-  EXPECT_NEAR(full, 2.0 * half, 0.1 * full);
-  EXPECT_DOUBLE_EQ(model.prefill(0, 0, 64, 4), 0.0);
-  EXPECT_DOUBLE_EQ(model.decode(100, 0, 4), 0.0);
+  EXPECT_NEAR(raw(full), raw(2.0 * half), raw(0.1 * full));
+  EXPECT_DOUBLE_EQ(raw(model.prefill(0, 0, 64, 4)), raw(0.0));
+  EXPECT_DOUBLE_EQ(raw(model.decode(100, 0, 4)), raw(0.0));
 }
 
 TEST(LatencyModel, TpReducesPrefill) {

@@ -39,7 +39,7 @@ TEST(Experiment, DeterministicForSeed) {
   const ExperimentConfig cfg = chatbot_config(1.0, 15);
   const ExperimentResult a = run_experiment(SystemKind::kHeroServe, cfg);
   const ExperimentResult b = run_experiment(SystemKind::kHeroServe, cfg);
-  EXPECT_DOUBLE_EQ(a.report.makespan, b.report.makespan);
+  EXPECT_DOUBLE_EQ(raw(a.report.makespan), raw(b.report.makespan));
   EXPECT_DOUBLE_EQ(a.report.ttft.p90(), b.report.ttft.p90());
   EXPECT_EQ(a.report.collectives, b.report.collectives);
 }

@@ -243,8 +243,200 @@ TEST(LintTest, ClassifyPathMatchesRepoConventions) {
 
 TEST(LintTest, RuleIdsAreStableAndSorted) {
   const auto& ids = herolint::rule_ids();
-  EXPECT_EQ(ids.size(), 6u);
+  EXPECT_EQ(ids.size(), 10u);
   EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  for (const std::string& id : ids) {
+    EXPECT_FALSE(herolint::rule_summary(id).empty()) << id;
+  }
+  EXPECT_TRUE(herolint::rule_summary("no-such-rule").empty());
+}
+
+// --- v2 flow rules ----------------------------------------------------
+
+TEST(LintTest, RawUnitLiteralFiresOnConversionFactorShapedInit) {
+  const std::string src = R"cpp(
+#include "common/units.hpp"
+void f() {
+  hero::Bandwidth bw = 12.5e9;
+  hero::Bytes chunk = 4096.0;
+}
+)cpp";
+  const auto fs = lint(src);
+  EXPECT_EQ(count_rule(fs, "raw-unit-literal"), 2);
+}
+
+TEST(LintTest, RawUnitLiteralAcceptsUnitsSpellingAndHumanScale) {
+  const std::string src = R"cpp(
+#include "common/units.hpp"
+void f() {
+  hero::Bandwidth bw = 100.0 * units::Gbps;
+  hero::Time sla = 2.5;
+  hero::Time zero = 0.0;
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "raw-unit-literal"), 0);
+}
+
+TEST(LintTest, RawUnitLiteralFiresOnAssignmentToo) {
+  const std::string src = R"cpp(
+void f() {
+  Time deadline = 0.0;
+  deadline = 3600.0;
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "raw-unit-literal"), 1);
+}
+
+TEST(LintTest, RawUnitLiteralIgnoresNonUnitTypes) {
+  const std::string src = R"cpp(
+void f() {
+  double scale = 1e9;
+  std::size_t tokens = 16384;
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "raw-unit-literal"), 0);
+}
+
+TEST(LintTest, MixedDimensionArithFires) {
+  const std::string src = R"cpp(
+void f(Bytes chunk, Time overhead) {
+  auto nonsense = chunk + overhead;
+}
+)cpp";
+  const auto fs = lint(src);
+  ASSERT_EQ(count_rule(fs, "mixed-dimension-arith"), 1);
+}
+
+TEST(LintTest, MixedDimensionCompoundAssignFires) {
+  const std::string src = R"cpp(
+void f(Time total, Bytes data) {
+  total += data;
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "mixed-dimension-arith"), 1);
+}
+
+TEST(LintTest, SameDimensionArithDoesNotFire) {
+  const std::string src = R"cpp(
+void f(Time a, Time b) {
+  Time total = a + b;
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "mixed-dimension-arith"), 0);
+}
+
+TEST(LintTest, MixedDimensionSkipsMultiplicativeTerms) {
+  // `chunk / bottleneck + overhead` is (Bytes/Bandwidth) + Time ==
+  // Time + Time: the ident left of `+` carries the whole term's
+  // dimension, not its own.
+  const std::string src = R"cpp(
+Time latency(Bytes chunk, Bandwidth bottleneck, Time overhead) {
+  double steps = 4.0;
+  return steps * (chunk / bottleneck + overhead);
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "mixed-dimension-arith"), 0);
+}
+
+TEST(LintTest, MixedDimensionSkipsMemberAccess) {
+  const std::string src = R"cpp(
+void f(Stats s, Bytes chunk) {
+  auto x = s.chunk + chunk;
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "mixed-dimension-arith"), 0);
+}
+
+TEST(LintTest, UnconsumedEstimateFires) {
+  const std::string src = R"cpp(
+void f(Oracle& oracle, Sim& sim) {
+  oracle.estimate_path(src, dst, bytes);
+  sim.load();
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "unconsumed-estimate"), 2);
+}
+
+TEST(LintTest, ConsumedEstimateDoesNotFire) {
+  const std::string src = R"cpp(
+void f(Oracle& oracle, Sim& sim) {
+  Time t = oracle.estimate_path(src, dst, bytes);
+  auto snap = sim.load();
+  if (oracle.estimate_path(src, dst, bytes) > t) return;
+  use(sim.load());
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint(src), "unconsumed-estimate"), 0);
+}
+
+TEST(LintTest, UnorderedIterToOutputFires) {
+  const std::string src = R"cpp(
+#include <unordered_map>
+std::unordered_map<int, double> rates;
+void dump(Tracer& tracer) {
+  for (const auto& [id, r] : rates) {
+    tracer.instant("rate", id);
+  }
+}
+)cpp";
+  const auto fs = lint(src);
+  // The plain unordered-iter rule also fires; the output-flavored rule
+  // adds the higher-severity byte-identity diagnosis.
+  EXPECT_EQ(count_rule(fs, "unordered-iter-to-output"), 1);
+  EXPECT_EQ(count_rule(fs, "unordered-iter"), 1);
+}
+
+TEST(LintTest, UnorderedIterWithoutSinkIsNotOutputFlavored) {
+  const std::string src = R"cpp(
+#include <unordered_map>
+std::unordered_map<int, double> rates;
+double sum() {
+  double s = 0.0;
+  for (const auto& [id, r] : rates) s += r;
+  return s;
+}
+)cpp";
+  const auto fs = lint(src);
+  EXPECT_EQ(count_rule(fs, "unordered-iter-to-output"), 0);
+  EXPECT_EQ(count_rule(fs, "unordered-iter"), 1);
+}
+
+TEST(LintTest, SuppressedFindingsLandInReport) {
+  const std::string src = R"cpp(
+#include <chrono>
+auto t = std::chrono::steady_clock::now();  // hero-lint: allow(wall-clock)
+bool done(double x) { return x == 1.0; }
+)cpp";
+  FileContext ctx;
+  ctx.library = true;
+  const herolint::LintReport report =
+      herolint::lint_source_report("fixture.cpp", src, ctx);
+  ASSERT_EQ(report.suppressed.size(), 1u);
+  EXPECT_EQ(report.suppressed[0].rule, "wall-clock");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "float-equal");
+}
+
+TEST(LintTest, SarifReportIsWellFormed) {
+  const std::string src = R"cpp(
+bool done(double x) { return x == 1.0; }
+)cpp";
+  const auto fs = lint(src);
+  ASSERT_EQ(fs.size(), 1u);
+  const std::string sarif = herolint::to_sarif(fs);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"float-equal\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 2"), std::string::npos);
+  EXPECT_NE(sarif.find("fixture.cpp"), std::string::npos);
+  // The driver rules table documents every rule id.
+  for (const std::string& id : herolint::rule_ids()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + id + "\""), std::string::npos) << id;
+  }
+}
+
+TEST(LintTest, SarifEmptyFindingsIsStillARun) {
+  const std::string sarif = herolint::to_sarif({});
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
 }
 
 TEST(LintTest, JsonReportContainsFindings) {

@@ -9,7 +9,7 @@ namespace {
 TEST(ModelConfig, Opt66bParameterCount) {
   const ModelConfig m = opt_66b();
   // ~66B parameters at FP16 => ~132 GB of weights.
-  EXPECT_NEAR(m.param_bytes() / 2.0, 66e9, 3e9);
+  EXPECT_NEAR(raw(m.param_bytes() / 2.0), raw(66e9), 3e9);
   EXPECT_EQ(m.layers, 64u);
   EXPECT_EQ(m.hidden, 9216u);
   EXPECT_EQ(m.heads, 72u);
@@ -17,7 +17,7 @@ TEST(ModelConfig, Opt66bParameterCount) {
 
 TEST(ModelConfig, Opt175bParameterCount) {
   const ModelConfig m = opt_175b();
-  EXPECT_NEAR(m.param_bytes() / 2.0, 175e9, 8e9);
+  EXPECT_NEAR(raw(m.param_bytes() / 2.0), raw(175e9), 8e9);
 }
 
 TEST(ModelConfig, Llama70bParameterCount) {
@@ -26,39 +26,39 @@ TEST(ModelConfig, Llama70bParameterCount) {
   // shape (the real model's 70.6B includes GQA-specific and norm weights
   // the Table-I model does not track); what matters here is the order of
   // magnitude used for memory planning.
-  EXPECT_NEAR(m.param_bytes() / 2.0, 60e9, 5e9);
+  EXPECT_NEAR(raw(m.param_bytes() / 2.0), raw(60e9), 5e9);
   EXPECT_EQ(m.ffn, 28672u);
 }
 
 TEST(ModelConfig, Opt13bParameterCount) {
-  EXPECT_NEAR(opt_13b().param_bytes() / 2.0, 13e9, 1e9);
+  EXPECT_NEAR(raw(opt_13b().param_bytes() / 2.0), raw(13e9), 1e9);
 }
 
 TEST(ModelConfig, KvBytesPerToken) {
   const ModelConfig m = opt_66b();
   // 2 (K and V) * L * h * 2 bytes.
-  EXPECT_DOUBLE_EQ(m.kv_bytes_per_token(), 2.0 * 64 * 9216 * 2.0);
+  EXPECT_DOUBLE_EQ(raw(m.kv_bytes_per_token()), raw(2.0 * 64 * 9216 * 2.0));
 }
 
 TEST(ModelConfig, SyncVolumeIsKinTimesHidden) {
   const ModelConfig m = opt_66b();
   // D_col(a) = D_col(f) = K_in * h elements, FP16.
-  EXPECT_DOUBLE_EQ(m.sync_volume_per_step(1000), 1000.0 * 9216 * 2.0);
+  EXPECT_DOUBLE_EQ(raw(m.sync_volume_per_step(1000)), raw(1000.0 * 9216 * 2.0));
 }
 
 TEST(ModelConfig, IterationSyncVolumeTwoStepsPerLayer) {
   const ModelConfig m = opt_66b();
-  EXPECT_DOUBLE_EQ(m.iteration_sync_volume(1000, 8),
-                   2.0 * 8 * m.sync_volume_per_step(1000));
+  EXPECT_DOUBLE_EQ(raw(m.iteration_sync_volume(1000, 8)),
+                   raw(2.0 * 8 * m.sync_volume_per_step(1000)));
 }
 
 TEST(ModelConfig, KvTransferShardsByTensorWidth) {
   const ModelConfig m = opt_66b();
-  EXPECT_DOUBLE_EQ(m.kv_transfer_bytes_per_gpu(512, 4),
-                   m.kv_bytes_per_token() * 512 / 4.0);
+  EXPECT_DOUBLE_EQ(raw(m.kv_transfer_bytes_per_gpu(512, 4)),
+                   raw(m.kv_bytes_per_token() * 512 / 4.0));
   // p_tens = 0 treated as 1.
-  EXPECT_DOUBLE_EQ(m.kv_transfer_bytes_per_gpu(512, 0),
-                   m.kv_bytes_per_token() * 512);
+  EXPECT_DOUBLE_EQ(raw(m.kv_transfer_bytes_per_gpu(512, 0)),
+                   raw(m.kv_bytes_per_token() * 512));
 }
 
 TEST(ModelConfig, LargerModelsCostMore) {

@@ -226,7 +226,7 @@ TEST(OnlineScheduler, PlanStampsBytesAndUpdatesCosts) {
   const GroupId gid = sched.register_group(
       "g", build_policies(f.graph, by_server[0], {}));
   const coll::AllReducePlan plan = sched.plan_all_reduce(gid, 4 * units::MB);
-  EXPECT_DOUBLE_EQ(plan.bytes, 4 * units::MB);
+  EXPECT_DOUBLE_EQ(raw(plan.bytes), raw(4 * units::MB));
   std::uint64_t selections = 0;
   for (std::size_t i = 0; i < sched.table(gid).size(); ++i) {
     selections += sched.table(gid).policy(i).times_selected;
@@ -301,7 +301,7 @@ TEST(HeroCommScheduler, RegistersAndPlans) {
   const auto by_server = f.graph.gpus_by_server();
   const GroupId gid = sched.register_group(by_server[0]);
   const coll::AllReducePlan plan = sched.all_reduce_plan(gid, units::MB);
-  EXPECT_DOUBLE_EQ(plan.bytes, units::MB);
+  EXPECT_DOUBLE_EQ(raw(plan.bytes), raw(units::MB));
   EXPECT_STREQ(sched.name(), "HeroServe");
 }
 

@@ -45,7 +45,9 @@ TEST(ShortestPath, StoreAndForwardLatency) {
   const Graph g = line_graph();
   const auto p = shortest_path(g, g.find("g0"), g.find("g1"));
   // 3 hops x (1MB / 12.5GB/s + 1us) = 3 x 81us.
-  EXPECT_NEAR(p->latency(g, 1.0 * units::MB), 3 * 81.0 * units::us, 1e-9);
+  EXPECT_NEAR(raw(p->latency(g, 1.0 * units::MB)),
+              raw(3 * 81.0 * units::us),
+              1e-9);
 }
 
 TEST(ShortestPath, BottleneckBandwidth) {
@@ -56,7 +58,7 @@ TEST(ShortestPath, BottleneckBandwidth) {
   g.add_edge(a, s, LinkKind::kEthernet, 100 * units::Gbps);
   g.add_edge(s, b, LinkKind::kEthernet, 25 * units::Gbps);
   const auto p = shortest_path(g, a, b);
-  EXPECT_DOUBLE_EQ(p->bottleneck(g), 25 * units::Gbps);
+  EXPECT_DOUBLE_EQ(raw(p->bottleneck(g)), raw(25 * units::Gbps));
 }
 
 TEST(ShortestPath, UnreachableReturnsNullopt) {
@@ -127,8 +129,9 @@ TEST(Fig2, HomogeneousCollectionIs160us) {
   const auto p = shortest_path(g, g.find("GN1"), g.find("S1"), opts);
   ASSERT_TRUE(p.has_value());
   EXPECT_EQ(p->hops(), 2u);
-  EXPECT_NEAR(p->latency(g, 1.0 * units::MB), 162.0 * units::us,
-              1.0 * units::us);
+  EXPECT_NEAR(raw(p->latency(g, 1.0 * units::MB)),
+              raw(162.0 * units::us),
+              raw(1.0 * units::us));
 }
 
 TEST(Fig2, HeterogeneousCollectionIs90us) {
@@ -229,8 +232,10 @@ TEST(PathStore, MatchesSinglePairQueries) {
     for (std::size_t j = 0; j < 6; ++j) {
       const auto single = shortest_path(g, terminals[i], terminals[j]);
       ASSERT_TRUE(single.has_value());
-      EXPECT_NEAR(store.latency(terminals[i], terminals[j], 1 * units::MB),
-                  single->latency(g, 1 * units::MB), 2 * units::us)
+      EXPECT_NEAR(raw(store.latency(terminals[i], terminals[j],
+                                    1 * units::MB)),
+                  raw(single->latency(g, 1 * units::MB)),
+                  raw(2 * units::us))
           << "pair " << i << "," << j;
     }
   }
@@ -240,7 +245,8 @@ TEST(PathStore, SelfPathIsEmpty) {
   const Graph g = line_graph();
   const PathStore store(g, g.gpus());
   EXPECT_TRUE(store.path(g.find("g0"), g.find("g0")).empty());
-  EXPECT_DOUBLE_EQ(store.latency(g.find("g0"), g.find("g0"), 1e6), 0.0);
+  EXPECT_DOUBLE_EQ(raw(store.latency(g.find("g0"), g.find("g0"), 1e6)),
+                   raw(0.0));
 }
 
 TEST(PathStore, NonTerminalThrows) {
@@ -297,7 +303,7 @@ TEST(PathOracle, UnreachableLatencyIsInfinite) {
   const NodeId far = gpus.back();  // different server than gpus[0]
   ASSERT_NE(g.node(gpus[0]).gpu.server, g.node(far).gpu.server);
   EXPECT_FALSE(oracle.path(gpus[0], far).has_value());
-  EXPECT_TRUE(std::isinf(oracle.latency(gpus[0], far, units::MiB)));
+  EXPECT_TRUE(std::isinf(raw(oracle.latency(gpus[0], far, units::MiB))));
 }
 
 TEST(PathStore, RespectsResidualBandwidth) {
@@ -309,7 +315,7 @@ TEST(PathStore, RespectsResidualBandwidth) {
   const PathStore store(g, g.gpus(), opts);
   const Time t = store.latency(g.find("g0"), g.find("g1"), 1.0 * units::MB);
   // 80us + 800us + 80us + 3us hop latencies.
-  EXPECT_NEAR(t, 963.0 * units::us, 1.0 * units::us);
+  EXPECT_NEAR(raw(t), raw(963.0 * units::us), raw(1.0 * units::us));
 }
 
 /// Property: on random pure-switch graphs Dijkstra's latencies satisfy the
@@ -343,7 +349,9 @@ TEST_P(RandomGraphTest, MetricProperties) {
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       const Time dij = store.latency(nodes[i], nodes[j], bytes);
-      EXPECT_NEAR(dij, store.latency(nodes[j], nodes[i], bytes), 1e-12);
+      EXPECT_NEAR(raw(dij),
+                  raw(store.latency(nodes[j], nodes[i], bytes)),
+                  1e-12);
       for (std::size_t k = 0; k < n; ++k) {
         EXPECT_LE(dij, store.latency(nodes[i], nodes[k], bytes) +
                            store.latency(nodes[k], nodes[j], bytes) + 1e-12);

@@ -22,26 +22,26 @@ TEST(Queueing, FormulaMatchesHandComputation) {
   const QueueEstimate est = pollaczek_khinchine(2.0, 0.25);
   EXPECT_TRUE(est.stable);
   EXPECT_DOUBLE_EQ(est.utilization, 0.5);
-  EXPECT_DOUBLE_EQ(est.queue_delay, 0.125);
+  EXPECT_DOUBLE_EQ(raw(est.queue_delay), raw(0.125));
 }
 
 TEST(Queueing, UnstableWhenRhoAtLeastOne) {
   const QueueEstimate est = pollaczek_khinchine(4.0, 0.25);
   EXPECT_FALSE(est.stable);
-  EXPECT_TRUE(std::isinf(est.queue_delay));
+  EXPECT_TRUE(std::isinf(raw(est.queue_delay)));
 }
 
 TEST(Queueing, ZeroLoadIsFree) {
-  EXPECT_DOUBLE_EQ(pollaczek_khinchine(0.0, 1.0).queue_delay, 0.0);
-  EXPECT_DOUBLE_EQ(pollaczek_khinchine(1.0, 0.0).queue_delay, 0.0);
+  EXPECT_DOUBLE_EQ(raw(pollaczek_khinchine(0.0, 1.0).queue_delay), raw(0.0));
+  EXPECT_DOUBLE_EQ(raw(pollaczek_khinchine(1.0, 0.0).queue_delay), raw(0.0));
 }
 
 TEST(Queueing, DelayGrowsWithUtilization) {
   double prev = 0.0;
   for (double lam : {0.5, 1.0, 2.0, 3.0, 3.9}) {
     const QueueEstimate est = pollaczek_khinchine(lam, 0.25);
-    EXPECT_GT(est.queue_delay, prev);
-    prev = est.queue_delay;
+    EXPECT_GT(raw(est.queue_delay), prev);
+    prev = raw(est.queue_delay);
   }
 }
 
@@ -284,7 +284,7 @@ TEST(Plan, DeterministicForSeed) {
   EXPECT_EQ(a.prefill.parallel.p_tens, b.prefill.parallel.p_tens);
   EXPECT_EQ(a.decode.parallel.p_tens, b.decode.parallel.p_tens);
   EXPECT_EQ(a.prefill.all_gpus(), b.prefill.all_gpus());
-  EXPECT_DOUBLE_EQ(a.throughput_h, b.throughput_h);
+  EXPECT_DOUBLE_EQ(raw(a.throughput_h), raw(b.throughput_h));
 }
 
 TEST(Plan, OverloadStillDeploysMaxCapacityConfig) {

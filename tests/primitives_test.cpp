@@ -54,7 +54,9 @@ TEST(Primitives, AllGatherRingTiming) {
   });
   f.simulator.run();
   // (P-1)=3 steps of 1MB chunks over 2-hop star paths: 3 * 2 * 80us.
-  EXPECT_NEAR(latency, 3.0 * 2.0 * 80.0 * units::us, 2.0 * units::us);
+  EXPECT_NEAR(raw(latency),
+              raw(3.0 * 2.0 * 80.0 * units::us),
+              raw(2.0 * units::us));
 }
 
 TEST(Primitives, ReduceScatterEqualsAllGatherOnWire) {
@@ -73,7 +75,7 @@ TEST(Primitives, ReduceScatterEqualsAllGatherOnWire) {
                                 f.graph.gpus(), 4.0 * units::MB, route),
       [&](Time t) { rs = t; });
   f.simulator.run();
-  EXPECT_NEAR(ag, rs, 1e-9);
+  EXPECT_NEAR(raw(ag), raw(rs), 1e-9);
 }
 
 TEST(Primitives, BroadcastWaitsForSlowestReceiver) {
@@ -101,7 +103,7 @@ TEST(Primitives, DegenerateCasesCompleteImmediately) {
                                 {f.graph.gpus()[0]}, units::MB, route),
       [&](Time t) { latency = t; });
   f.simulator.run();
-  EXPECT_DOUBLE_EQ(latency, 0.0);
+  EXPECT_DOUBLE_EQ(raw(latency), raw(0.0));
 }
 
 TEST(Primitives, RingBuilderRejectsBroadcast) {
@@ -114,16 +116,16 @@ TEST(Primitives, RingBuilderRejectsBroadcast) {
 
 TEST(Primitives, CostModels) {
   // All-gather: (P-1) * (bytes/P) / B.
-  EXPECT_NEAR(coll::all_gather_latency(4, 8.0 * units::MB,
-                                       100.0 * units::Gbps),
-              3.0 * 2.0 * units::MB / 12.5e9, 1e-12);
-  EXPECT_DOUBLE_EQ(coll::all_gather_latency(1, units::MB, 1e9), 0.0);
+  EXPECT_NEAR(raw(coll::all_gather_latency(4, 8.0 * units::MB, 100.0 * units::Gbps)),
+              raw(3.0 * 2.0 * units::MB / 12.5e9),
+              1e-12);
+  EXPECT_DOUBLE_EQ(raw(coll::all_gather_latency(1, units::MB, 1e9)), raw(0.0));
   // Sequence-parallel pair == all-reduce wire cost (Eq. 11 equivalence).
   const Time pair = coll::sequence_parallel_pair_latency(
       4, 8.0 * units::MB, 100.0 * units::Gbps);
   const Time ar = coll::ring_all_reduce_latency(4, 8.0 * units::MB,
                                                 100.0 * units::Gbps);
-  EXPECT_NEAR(pair, ar, 1e-12);
+  EXPECT_NEAR(raw(pair), raw(ar), 1e-12);
 }
 
 TEST(Primitives, KindNames) {
@@ -136,11 +138,12 @@ TEST(Primitives, KindNames) {
 TEST(CommPrecision, Int8HalvesSyncVolume) {
   const llm::ModelConfig fp16 = llm::opt_66b();
   const llm::ModelConfig int8 = fp16.with_int8_comm();
-  EXPECT_DOUBLE_EQ(int8.sync_volume_per_step(1000),
-                   0.5 * fp16.sync_volume_per_step(1000));
+  EXPECT_DOUBLE_EQ(raw(int8.sync_volume_per_step(1000)),
+                   raw(0.5 * fp16.sync_volume_per_step(1000)));
   // Weights and KV cache stay at the compute precision.
-  EXPECT_DOUBLE_EQ(int8.param_bytes(), fp16.param_bytes());
-  EXPECT_DOUBLE_EQ(int8.kv_bytes_per_token(), fp16.kv_bytes_per_token());
+  EXPECT_DOUBLE_EQ(raw(int8.param_bytes()), raw(fp16.param_bytes()));
+  EXPECT_DOUBLE_EQ(raw(int8.kv_bytes_per_token()),
+                   raw(fp16.kv_bytes_per_token()));
 }
 
 // --- GPU presets ---
@@ -150,7 +153,7 @@ TEST(GpuPresets, H100AndL4) {
   EXPECT_EQ(h100.name, "H100-80GB");
   EXPECT_GT(h100.flops(), gpu::spec_of(topo::GpuModel::kA100_80).flops());
   const gpu::GpuSpec l4 = gpu::spec_of(topo::GpuModel::kL4_24);
-  EXPECT_DOUBLE_EQ(l4.memory, 24.0 * units::GB);
+  EXPECT_DOUBLE_EQ(raw(l4.memory), raw(24.0 * units::GB));
   EXPECT_STREQ(topo::to_string(topo::GpuModel::kH100_80), "H100-80GB");
 }
 
@@ -163,7 +166,7 @@ TEST(Diurnal, PreservesMeanRate) {
   opts.period = 100.0;
   opts.amplitude = 0.6;
   const wl::Trace t = wl::generate_diurnal_trace(opts);
-  EXPECT_NEAR(wl::summarize(t).mean_rate, 10.0, 1.0);
+  EXPECT_NEAR(raw(wl::summarize(t).mean_rate), raw(10.0), 1.0);
 }
 
 TEST(Diurnal, RateOscillatesWithPeriod) {
@@ -177,7 +180,8 @@ TEST(Diurnal, RateOscillatesWithPeriod) {
   // positive half must carry clearly more traffic.
   std::size_t first_half = 0, second_half = 0;
   for (const wl::Request& r : t) {
-    const double phase = std::fmod(r.arrival, opts.period) / opts.period;
+    const double phase =
+        std::fmod(raw(r.arrival), raw(opts.period)) / raw(opts.period);
     (phase < 0.5 ? first_half : second_half) += 1;
   }
   EXPECT_GT(first_half, second_half * 1.5);
@@ -199,7 +203,7 @@ TEST(Diurnal, DeterministicForSeed) {
   const wl::Trace b = wl::generate_diurnal_trace(opts);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_DOUBLE_EQ(raw(a[i].arrival), raw(b[i].arrival));
   }
 }
 

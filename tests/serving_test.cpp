@@ -90,8 +90,9 @@ TEST(ClusterSim, MetricsAreConsistent) {
   EXPECT_GT(report.collectives, 0u);
   EXPECT_EQ(report.gpus_used, f.plan.prefill.all_gpus().size() +
                                   f.plan.decode.all_gpus().size());
-  EXPECT_NEAR(report.per_gpu_goodput,
-              report.requests_per_second / report.gpus_used, 1e-12);
+  EXPECT_NEAR(raw(report.per_gpu_goodput),
+              raw(report.requests_per_second / report.gpus_used),
+              1e-12);
 }
 
 TEST(ClusterSim, LowRateMeetsSla) {
@@ -162,7 +163,7 @@ TEST(ClusterSim, DeterministicForSeed) {
   const ServingReport a = run_once();
   const ServingReport b = run_once();
   EXPECT_EQ(a.completed, b.completed);
-  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(raw(a.makespan), raw(b.makespan));
   EXPECT_DOUBLE_EQ(a.ttft.p90(), b.ttft.p90());
 }
 

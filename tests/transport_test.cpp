@@ -141,7 +141,7 @@ TEST(TraceIo, RoundTrip) {
   const wl::Trace loaded = wl::read_trace_csv(buffer);
   ASSERT_EQ(loaded.size(), original.size());
   for (std::size_t i = 0; i < loaded.size(); ++i) {
-    EXPECT_NEAR(loaded[i].arrival, original[i].arrival, 1e-6);
+    EXPECT_NEAR(raw(loaded[i].arrival), raw(original[i].arrival), 1e-6);
     EXPECT_EQ(loaded[i].input_tokens, original[i].input_tokens);
     EXPECT_EQ(loaded[i].output_tokens, original[i].output_tokens);
   }
@@ -157,7 +157,7 @@ TEST(TraceIo, ParsesCommentsAndHeader) {
   const wl::Trace t = wl::read_trace_csv(in);
   ASSERT_EQ(t.size(), 2u);
   // Sorted by arrival, ids renumbered.
-  EXPECT_DOUBLE_EQ(t[0].arrival, 0.5);
+  EXPECT_DOUBLE_EQ(raw(t[0].arrival), raw(0.5));
   EXPECT_EQ(t[0].id, 0u);
   EXPECT_EQ(t[1].input_tokens, 100u);
 }
@@ -181,7 +181,7 @@ TEST(TraceIo, RescaleRateHitsTarget) {
   opts.count = 200;
   opts.rate = 2.0;
   wl::Trace t = wl::rescale_rate(wl::generate_trace(opts), 8.0);
-  EXPECT_NEAR(wl::summarize(t).mean_rate, 8.0, 0.01);
+  EXPECT_NEAR(raw(wl::summarize(t).mean_rate), raw(8.0), 0.01);
   // Lengths untouched.
   EXPECT_GT(t[0].input_tokens, 0u);
 }
@@ -190,7 +190,7 @@ TEST(TraceIo, RescaleDegenerateTraces) {
   wl::Trace empty;
   EXPECT_TRUE(wl::rescale_rate(empty, 2.0).empty());
   wl::Trace one{wl::Request{0, 5.0, 10, 10}};
-  EXPECT_DOUBLE_EQ(wl::rescale_rate(one, 2.0)[0].arrival, 5.0);
+  EXPECT_DOUBLE_EQ(raw(wl::rescale_rate(one, 2.0)[0].arrival), raw(5.0));
 }
 
 // --- PCIe intra-server mode (paper SVII future work) ---
@@ -225,8 +225,8 @@ TEST(PcieMode, CrossNumaPairsPayPenalty) {
   };
   const topo::Edge& same_numa = edge_between(by_server[0][0], by_server[0][1]);
   const topo::Edge& cross_numa = edge_between(by_server[0][0], by_server[0][2]);
-  EXPECT_DOUBLE_EQ(same_numa.capacity, 32.0 * units::GBps);
-  EXPECT_DOUBLE_EQ(cross_numa.capacity, 16.0 * units::GBps);
+  EXPECT_DOUBLE_EQ(raw(same_numa.capacity), raw(32.0 * units::GBps));
+  EXPECT_DOUBLE_EQ(raw(cross_numa.capacity), raw(16.0 * units::GBps));
   EXPECT_GT(cross_numa.latency, same_numa.latency);
 }
 
@@ -234,7 +234,7 @@ TEST(PcieMode, NvLinkDefaultUnchanged) {
   const topo::Graph g = topo::make_testbed();
   for (topo::EdgeId e = 0; e < g.edge_count(); ++e) {
     if (g.edge(e).kind == topo::LinkKind::kNvLink) {
-      EXPECT_DOUBLE_EQ(g.edge(e).capacity, 600.0 * units::GBps);
+      EXPECT_DOUBLE_EQ(raw(g.edge(e).capacity), raw(600.0 * units::GBps));
     }
   }
 }

@@ -1,0 +1,142 @@
+// Tests for common/units.hpp: the Quantity dimension algebra, the
+// units:: constants, raw(), and numeric_limits coverage.
+//
+// Everything here compiles and passes in BOTH builds. In the default
+// build the aliases are all plain double, so the type-level assertions
+// hold trivially; under -DHERO_STRONG_UNITS they verify the Quantity
+// operator set reproduces the same algebra structurally. The negative
+// direction — `Bytes + Time` must NOT compile in the strong build — is
+// the compile_fail/ CTest pair, not a runtime test.
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <type_traits>
+#include <utility>
+
+namespace {
+
+using namespace hero;  // NOLINT(google-build-using-namespace)
+
+// --- dimension algebra as types --------------------------------------
+static_assert(std::is_same_v<
+    decltype(std::declval<Bytes>() / std::declval<Time>()), Bandwidth>);
+static_assert(std::is_same_v<
+    decltype(std::declval<Bytes>() / std::declval<Bandwidth>()), Time>);
+static_assert(std::is_same_v<
+    decltype(std::declval<Bandwidth>() * std::declval<Time>()), Bytes>);
+static_assert(std::is_same_v<
+    decltype(std::declval<Tokens>() / std::declval<Time>()), TokenRate>);
+static_assert(std::is_same_v<
+    decltype(std::declval<TokenRate>() * std::declval<Time>()), Tokens>);
+static_assert(std::is_same_v<
+    decltype(std::declval<WorkRate>() * std::declval<Time>()), WorkUnits>);
+static_assert(std::is_same_v<
+    decltype(std::declval<WorkUnits>() / std::declval<WorkRate>()), Time>);
+static_assert(std::is_same_v<decltype(1.0 / std::declval<Time>()), Rate>);
+// Dimensionless ratios decay to plain double.
+static_assert(std::is_same_v<
+    decltype(std::declval<Bytes>() / std::declval<Bytes>()), double>);
+static_assert(std::is_same_v<
+    decltype(std::declval<Rate>() * std::declval<Time>()), double>);
+// Same-dimension +/- stays in the dimension.
+static_assert(std::is_same_v<
+    decltype(std::declval<Time>() + std::declval<Time>()), Time>);
+static_assert(std::is_same_v<
+    decltype(std::declval<Bytes>() - std::declval<Bytes>()), Bytes>);
+// Quantities are constexpr-capable and trivially copyable wrappers.
+static_assert(std::is_trivially_copyable_v<Time>);
+static_assert(sizeof(Time) == sizeof(double));
+
+TEST(UnitsTest, ConstantsComposeToExpectedRawValues) {
+  EXPECT_DOUBLE_EQ(raw(100.0 * units::Gbps), 12.5e9);
+  EXPECT_DOUBLE_EQ(raw(1.0 * units::MiB), 1048576.0);
+  EXPECT_DOUBLE_EQ(raw(1.0 * units::GiB), 1073741824.0);
+  EXPECT_DOUBLE_EQ(raw(2.0 * units::ms), 0.002);
+  EXPECT_DOUBLE_EQ(raw(1.0 * units::GBps), raw(8.0 * units::Gbps));
+  EXPECT_DOUBLE_EQ(units::bits_per_byte, 8.0);
+  EXPECT_DOUBLE_EQ(raw(1.0 * units::TFLOPs), 1e12);
+}
+
+TEST(UnitsTest, ArithmeticMatchesDoubleSemantics) {
+  Time a = 1.5;
+  Time b = 0.25;
+  EXPECT_DOUBLE_EQ(raw(a + b), 1.75);
+  EXPECT_DOUBLE_EQ(raw(a - b), 1.25);
+  EXPECT_DOUBLE_EQ(raw(a * 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(raw(2.0 * a), 3.0);
+  EXPECT_DOUBLE_EQ(raw(a / 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(raw(-a), -1.5);
+  EXPECT_DOUBLE_EQ(raw(+a), 1.5);
+  a += b;
+  EXPECT_DOUBLE_EQ(raw(a), 1.75);
+  a -= b;
+  EXPECT_DOUBLE_EQ(raw(a), 1.5);
+  a *= 4.0;
+  EXPECT_DOUBLE_EQ(raw(a), 6.0);
+  a /= 3.0;
+  EXPECT_DOUBLE_EQ(raw(a), 2.0);
+}
+
+TEST(UnitsTest, DimensionAlgebraValues) {
+  Bytes data = 4.0 * units::MiB;
+  Bandwidth bw = 2.0 * units::GBps;
+  Time t = data / bw;
+  EXPECT_DOUBLE_EQ(raw(t), 4.0 * 1024.0 * 1024.0 / 2e9);
+  EXPECT_DOUBLE_EQ(raw(bw * t), raw(data));
+  // Dimensionless ratio is an ordinary double.
+  const double utilization = (1.0 * units::MiB) / (4.0 * units::MiB);
+  EXPECT_DOUBLE_EQ(utilization, 0.25);
+}
+
+TEST(UnitsTest, ComparisonsAndOrdering) {
+  Time fast = 1.0 * units::us;
+  Time slow = 1.0 * units::ms;
+  EXPECT_LT(fast, slow);
+  EXPECT_GT(slow, fast);
+  EXPECT_LE(fast, fast);
+  EXPECT_GE(slow, slow);
+  EXPECT_TRUE(fast < slow && slow > fast);
+  EXPECT_TRUE(Time{0.0} <= fast);
+}
+
+TEST(UnitsTest, RawIsPassThroughForDoubleAndUnwrapForQuantity) {
+  EXPECT_DOUBLE_EQ(raw(2.5), 2.5);
+  EXPECT_DOUBLE_EQ(raw(Time{2.5}), 2.5);
+  EXPECT_DOUBLE_EQ(raw(Bytes{1024.0}), 1024.0);
+}
+
+TEST(UnitsTest, NumericLimitsSpecialization) {
+  // The primary std::numeric_limits template would silently return
+  // value-initialized (zero) quantities in the strong build; the
+  // specialization must forward double's values.
+  EXPECT_TRUE(std::isinf(raw(std::numeric_limits<Time>::infinity())));
+  EXPECT_TRUE(std::isinf(raw(std::numeric_limits<WorkRate>::infinity())));
+  EXPECT_TRUE(std::isnan(raw(std::numeric_limits<Time>::quiet_NaN())));
+  EXPECT_DOUBLE_EQ(raw(std::numeric_limits<Bytes>::max()),
+                   std::numeric_limits<double>::max());
+  EXPECT_LT(std::numeric_limits<Time>::lowest(), Time{0.0});
+  EXPECT_GT(std::numeric_limits<Time>::epsilon(), Time{0.0});
+}
+
+TEST(UnitsTest, StreamsExactlyLikeDouble) {
+  std::ostringstream as_quantity;
+  as_quantity << Time{0.125} << " " << Bytes{1e9};
+  std::ostringstream as_double;
+  as_double << 0.125 << " " << 1e9;
+  EXPECT_EQ(as_quantity.str(), as_double.str());
+}
+
+TEST(UnitsTest, TransferTimeEdgeCases) {
+  // Main coverage lives in common_test.cpp; keep the contract pinned
+  // next to the algebra it is built from.
+  EXPECT_DOUBLE_EQ(raw(transfer_time(Bytes{0.0}, 1.0 * units::GBps)), 0.0);
+  EXPECT_TRUE(std::isinf(raw(transfer_time(1.0 * units::B, Bandwidth{0.0}))));
+  EXPECT_DOUBLE_EQ(raw(transfer_time(1.0 * units::GB, 1.0 * units::GBps)),
+                   1.0);
+}
+
+}  // namespace

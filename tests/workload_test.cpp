@@ -16,7 +16,7 @@ TEST(Trace, DeterministicForSeed) {
   const Trace b = generate_trace(opts);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_DOUBLE_EQ(raw(a[i].arrival), raw(b[i].arrival));
     EXPECT_EQ(a[i].input_tokens, b[i].input_tokens);
     EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
   }
@@ -35,7 +35,7 @@ TEST(Trace, PoissonRateMatches) {
   opts.rate = 10.0;
   opts.count = 5000;
   const TraceStats stats = summarize(generate_trace(opts));
-  EXPECT_NEAR(stats.mean_rate, 10.0, 0.5);
+  EXPECT_NEAR(raw(stats.mean_rate), raw(10.0), 0.5);
 }
 
 TEST(Trace, RejectsNonPositiveRate) {
@@ -80,7 +80,7 @@ TEST(Trace, BurstyPreservesMeanRate) {
   opts.burst_multiplier = 4.0;
   opts.burst_fraction = 0.2;
   const TraceStats stats = summarize(generate_trace(opts));
-  EXPECT_NEAR(stats.mean_rate, 10.0, 2.0);
+  EXPECT_NEAR(raw(stats.mean_rate), raw(10.0), 2.0);
 }
 
 TEST(Trace, BurstyHasHigherVariance) {
@@ -90,7 +90,7 @@ TEST(Trace, BurstyHasHigherVariance) {
   auto gap_var = [](const Trace& t) {
     Summary s;
     for (std::size_t i = 1; i < t.size(); ++i) {
-      s.add(t[i].arrival - t[i - 1].arrival);
+      s.add(raw(t[i].arrival - t[i - 1].arrival));
     }
     return s.variance();
   };
@@ -104,7 +104,7 @@ TEST(Trace, BurstyHasHigherVariance) {
 TEST(Summarize, EmptyTrace) {
   const TraceStats s = summarize({});
   EXPECT_EQ(s.count, 0u);
-  EXPECT_DOUBLE_EQ(s.mean_rate, 0.0);
+  EXPECT_DOUBLE_EQ(raw(s.mean_rate), raw(0.0));
 }
 
 // --- estimator ---

@@ -166,6 +166,46 @@ else
   echo "determinism_check: simspeed phase skipped ($BENCH_SIMSPEED not built)"
 fi
 
+# Strong-units phase (when the dimension-checked build exists): the
+# HERO_STRONG_UNITS build swaps the Time/Bytes/... aliases for Quantity<>
+# wrappers, which must perform the identical double operations in the
+# identical order — so quickstart and fleet stdout + traces must be
+# byte-identical ACROSS builds, not merely within one
+# (DESIGN.md -> "Dimensional correctness").
+STRONG_DIR="${STRONG_BUILD_DIR:-${BUILD_DIR%/}-strong}"
+STRONG_QUICKSTART=""
+if [ -d "$STRONG_DIR" ]; then
+  STRONG_QUICKSTART="$(cd "$STRONG_DIR" && pwd)/examples/quickstart"
+fi
+if [ -n "$STRONG_QUICKSTART" ] && [ -x "$STRONG_QUICKSTART" ]; then
+  for seed in "${SEEDS[@]}"; do
+    mkdir -p "$WORK/strong-$seed" "$WORK/strong-fleet-$seed"
+    ( cd "$WORK/strong-$seed" &&
+      "$STRONG_QUICKSTART" "$RATE" "$REQUESTS" --seed "$seed" \
+          --trace trace.json > stdout.txt )
+    ( cd "$WORK/strong-fleet-$seed" &&
+      "$STRONG_QUICKSTART" "$RATE" "$REQUESTS" --seed "$seed" \
+          --instances 4 --router hero --trace trace.json > stdout.txt )
+    for pair in "run-$seed-1 strong-$seed" "fleet-$seed-1 strong-fleet-$seed"; do
+      set -- $pair
+      if ! cmp -s "$WORK/$1/stdout.txt" "$WORK/$2/stdout.txt"; then
+        echo "determinism_check: FAIL seed=$seed strong-units stdout diverges ($1 vs $2)" >&2
+        diff "$WORK/$1/stdout.txt" "$WORK/$2/stdout.txt" | head -20 >&2 || true
+        FAIL=1
+      fi
+      if ! cmp -s "$WORK/$1/trace.json" "$WORK/$2/trace.json"; then
+        echo "determinism_check: FAIL seed=$seed strong-units trace diverges ($1 vs $2)" >&2
+        FAIL=1
+      fi
+    done
+    if [ "$FAIL" -eq 0 ]; then
+      echo "determinism_check: seed=$seed strong-units OK (default == strong, quickstart + fleet)"
+    fi
+  done
+else
+  echo "determinism_check: strong-units phase skipped ($STRONG_DIR/examples/quickstart not built)"
+fi
+
 if [ "$FAIL" -ne 0 ]; then
   echo "determinism_check: FAILED" >&2
   exit 1

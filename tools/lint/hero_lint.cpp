@@ -3,11 +3,13 @@
 // non-zero when anything unsuppressed fires. See lint_core.hpp for the
 // rule catalogue.
 //
-// Usage: hero_lint [--json out.json] [--list-rules] [paths...]
+// Usage: hero_lint [--json out.json] [--sarif out.sarif] [--stats]
+//                  [--list-rules] [paths...]
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -58,30 +60,48 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
+bool write_report(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "hero_lint: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << body;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::string json_path;
+  std::string sarif_path;
+  bool stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
       for (const std::string& r : herolint::rule_ids()) {
-        std::printf("%s\n", r.c_str());
+        std::printf("%-25s %s\n", r.c_str(),
+                    herolint::rule_summary(r).c_str());
       }
       return 0;
     }
-    if (arg == "--json") {
+    if (arg == "--json" || arg == "--sarif") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "hero_lint: --json needs a path\n");
+        std::fprintf(stderr, "hero_lint: %s needs a path\n", arg.c_str());
         return 2;
       }
-      json_path = argv[++i];
+      (arg == "--json" ? json_path : sarif_path) = argv[++i];
+      continue;
+    }
+    if (arg == "--stats") {
+      stats = true;
       continue;
     }
     if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: hero_lint [--json out.json] [--list-rules] [paths...]\n");
+          "usage: hero_lint [--json out.json] [--sarif out.sarif] "
+          "[--stats] [--list-rules] [paths...]\n");
       return 0;
     }
     roots.push_back(arg);
@@ -89,7 +109,9 @@ int main(int argc, char** argv) {
   if (roots.empty()) roots = {"src", "examples", "bench"};
 
   std::vector<herolint::Finding> all;
+  std::map<std::string, std::size_t> fired, allowed;
   std::size_t files_seen = 0;
+  std::size_t suppressed_total = 0;
   for (const std::string& root : roots) {
     for (const std::string& file : collect(root)) {
       std::string content;
@@ -99,7 +121,14 @@ int main(int argc, char** argv) {
       }
       ++files_seen;
       const herolint::FileContext ctx = herolint::classify_path(file);
-      for (herolint::Finding& f : herolint::lint_source(file, content, ctx)) {
+      herolint::LintReport report =
+          herolint::lint_source_report(file, content, ctx);
+      for (const herolint::Finding& f : report.suppressed) {
+        ++allowed[f.rule];
+        ++suppressed_total;
+      }
+      for (herolint::Finding& f : report.findings) {
+        ++fired[f.rule];
         all.push_back(std::move(f));
       }
     }
@@ -109,17 +138,24 @@ int main(int argc, char** argv) {
     std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                 f.message.c_str());
   }
-  if (!json_path.empty()) {
-    std::ofstream out(json_path, std::ios::binary);
-    if (!out) {
-      std::fprintf(stderr, "hero_lint: cannot write '%s'\n",
-                   json_path.c_str());
-      return 2;
-    }
-    out << herolint::to_json(all);
+  if (!json_path.empty() &&
+      !write_report(json_path, herolint::to_json(all))) {
+    return 2;
   }
-  std::printf("hero_lint: %zu finding%s in %zu file%s\n", all.size(),
-              all.size() == 1 ? "" : "s", files_seen,
-              files_seen == 1 ? "" : "s");
+  if (!sarif_path.empty() &&
+      !write_report(sarif_path, herolint::to_sarif(all))) {
+    return 2;
+  }
+  if (stats) {
+    std::printf("%-25s %7s %8s\n", "rule", "fired", "allowed");
+    for (const std::string& r : herolint::rule_ids()) {
+      std::printf("%-25s %7zu %8zu\n", r.c_str(),
+                  fired.count(r) != 0U ? fired.at(r) : 0,
+                  allowed.count(r) != 0U ? allowed.at(r) : 0);
+    }
+  }
+  std::printf("hero_lint: %zu finding%s (%zu allowed) in %zu file%s\n",
+              all.size(), all.size() == 1 ? "" : "s", suppressed_total,
+              files_seen, files_seen == 1 ? "" : "s");
   return all.empty() ? 0 : 1;
 }

@@ -10,9 +10,46 @@
 namespace herolint {
 namespace {
 
-const std::vector<std::string> kRuleIds = {
-    "ambient-rng",   "float-equal",    "iostream",
-    "uninit-member", "unordered-iter", "wall-clock"};
+struct RuleDoc {
+  const char* id;
+  const char* summary;
+};
+
+const RuleDoc kRuleDocs[] = {
+    {"ambient-rng",
+     "ambient randomness outside common/rng; derive from a seeded "
+     "hero::Rng"},
+    {"float-equal",
+     "exact ==/!= against a floating-point literal; use an epsilon or "
+     "integer state"},
+    {"iostream",
+     "<iostream> in library code; log via common/log"},
+    {"mixed-dimension-arith",
+     "+/- combining unit-typed locals of different dimensions (e.g. "
+     "bytes + seconds)"},
+    {"raw-unit-literal",
+     "unit-typed variable set from a conversion-factor-shaped literal "
+     "without a units:: factor"},
+    {"unconsumed-estimate",
+     "discarded result of estimate_path()/load(); both are pure queries"},
+    {"uninit-member",
+     "scalar/pointer struct member without an initializer"},
+    {"unordered-iter",
+     "iteration over an unordered container; order depends on the stdlib "
+     "hash"},
+    {"unordered-iter-to-output",
+     "unordered-container iteration emitting into a trace/report sink; "
+     "output ordering would depend on the stdlib hash"},
+    {"wall-clock",
+     "ambient time source; simulated time comes from "
+     "sim::Simulator::now()"},
+};
+
+const std::vector<std::string> kRuleIds = [] {
+  std::vector<std::string> ids;
+  for (const RuleDoc& d : kRuleDocs) ids.push_back(d.id);
+  return ids;
+}();
 
 /// Split `content` into per-line code text (comments and string/char
 /// literal bodies blanked out with spaces, lengths preserved) and per-line
@@ -448,6 +485,317 @@ void scan_uninit_member(const MaskedSource& src, const std::string& path,
   }
 }
 
+// ---------------------------------------------------------------------------
+// v2 flow-aware rules: a lightweight tokenizer over the masked code plus a
+// per-file symbol table of unit-typed locals. Tokens carry their source
+// line so findings stay clickable.
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+bool starts_number(const std::string& s, std::size_t i) {
+  const char c = s[i];
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0) return true;
+  return c == '.' && i + 1 < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])) != 0;
+}
+
+std::vector<Token> tokenize(const MaskedSource& src) {
+  static const char* kTwoCharPunct[] = {"::", "->", "==", "!=", "<=", ">=",
+                                        "+=", "-=", "*=", "/=", "&&", "||",
+                                        "<<", ">>"};
+  std::vector<Token> toks;
+  for (std::size_t li = 0; li < src.code.size(); ++li) {
+    const std::string& s = src.code[li];
+    const int line = static_cast<int>(li) + 1;
+    std::size_t i = 0;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (ident_char(c) && !starts_number(s, i)) {
+        std::size_t j = i;
+        while (j < s.size() && ident_char(s[j])) ++j;
+        toks.push_back({Token::Kind::kIdent, s.substr(i, j - i), line});
+        i = j;
+        continue;
+      }
+      if (starts_number(s, i)) {
+        std::size_t j = i;
+        while (j < s.size() &&
+               (ident_char(s[j]) || s[j] == '.' || s[j] == '\'')) {
+          // Exponent sign belongs to the literal: 1e-9, 0x1p+3.
+          if ((s[j] == 'e' || s[j] == 'E' || s[j] == 'p' || s[j] == 'P') &&
+              j + 1 < s.size() && (s[j + 1] == '+' || s[j + 1] == '-')) {
+            j += 2;
+          } else {
+            ++j;
+          }
+        }
+        toks.push_back({Token::Kind::kNumber, s.substr(i, j - i), line});
+        i = j;
+        continue;
+      }
+      bool matched = false;
+      for (const char* two : kTwoCharPunct) {
+        if (s.compare(i, 2, two) == 0) {
+          toks.push_back({Token::Kind::kPunct, two, line});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        toks.push_back({Token::Kind::kPunct, std::string(1, c), line});
+        ++i;
+      }
+    }
+  }
+  return toks;
+}
+
+bool is_unit_type(const std::string& t) {
+  static const std::set<std::string> kUnits = {
+      "Time",   "Bytes",    "Bandwidth", "Rate",
+      "Tokens", "TokenRate", "WorkUnits", "WorkRate"};
+  return kUnits.contains(t);
+}
+
+/// Per-file symbol table: declared name -> unit type. Built from token
+/// patterns `UnitType name` followed by `=`, `;`, `,`, `)` or `{` —
+/// declarations and parameters, but not functions returning a unit type
+/// (`Time transfer_time(...)`: next punct is '(').
+std::map<std::string, std::string> unit_symbols(
+    const std::vector<Token>& toks) {
+  std::map<std::string, std::string> table;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || !is_unit_type(toks[i].text)) {
+      continue;
+    }
+    // Skip `hero ::` / `units ::` qualifiers backwards only to reject
+    // `units::Time`-style nested names declared elsewhere — a qualifier
+    // still declares the same unit type, so nothing to do.
+    std::size_t j = i + 1;
+    if (toks[j].kind != Token::Kind::kIdent) continue;
+    const std::string& name = toks[j].text;
+    if (j + 1 >= toks.size()) continue;
+    const std::string& after = toks[j + 1].text;
+    if (after == "=" || after == ";" || after == "," || after == ")" ||
+        after == "{") {
+      table[name] = toks[i].text;
+    }
+  }
+  return table;
+}
+
+/// Absolute value of a numeric literal token, or -1 when unparsable.
+double literal_value(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    // Accept trailing f/F/l/L suffixes; reject hex garbage half-parses.
+    for (std::size_t k = used; k < text.size(); ++k) {
+      const char c = text[k];
+      if (c != 'f' && c != 'F' && c != 'l' && c != 'L' && c != 'u' &&
+          c != 'U') {
+        return -1.0;
+      }
+    }
+    return v < 0 ? -v : v;
+  } catch (...) {
+    return -1.0;
+  }
+}
+
+/// "Conversion-factor-shaped": scientific notation, or magnitude >= 1000.
+/// Human-scale base-unit values (2.5 s SLA, 0.05 utilization floors) pass.
+bool magic_literal(const std::string& text) {
+  if (text.find('e') != std::string::npos ||
+      text.find('E') != std::string::npos) {
+    return true;
+  }
+  const double v = literal_value(text);
+  return v >= 1000.0;
+}
+
+void scan_raw_unit_literal(const std::vector<Token>& toks,
+                           const std::map<std::string, std::string>& symbols,
+                           const std::string& path,
+                           std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    // Two shapes: `UnitType name = init ;` and `known_name = init ;`.
+    std::string name, unit;
+    std::size_t eq = 0;
+    if (toks[i].kind == Token::Kind::kIdent && is_unit_type(toks[i].text) &&
+        toks[i + 1].kind == Token::Kind::kIdent &&
+        toks[i + 2].text == "=") {
+      name = toks[i + 1].text;
+      unit = toks[i].text;
+      eq = i + 2;
+    } else if (toks[i].kind == Token::Kind::kIdent &&
+               symbols.contains(toks[i].text) && toks[i + 1].text == "=" &&
+               (i == 0 || (toks[i - 1].text != "." &&
+                           toks[i - 1].text != "->" &&
+                           toks[i - 1].kind != Token::Kind::kIdent))) {
+      name = toks[i].text;
+      unit = symbols.at(toks[i].text);
+      eq = i + 1;
+    } else {
+      continue;
+    }
+    // Initializer must be literal-only arithmetic (identifiers mean the
+    // value flows from something already typed) with at least one magic
+    // literal and no units:: factor.
+    bool magic = false;
+    bool pure = true;
+    std::size_t j = eq + 1;
+    for (; j < toks.size() && toks[j].text != ";"; ++j) {
+      if (toks[j].kind == Token::Kind::kIdent) {
+        pure = false;
+      } else if (toks[j].kind == Token::Kind::kNumber &&
+                 magic_literal(toks[j].text)) {
+        magic = true;
+      }
+    }
+    if (pure && magic) {
+      out.push_back(
+          {path, toks[eq].line, "raw-unit-literal",
+           "unit-typed '" + name + "' (" + unit +
+               ") set from a bare conversion-factor literal: spell the "
+               "unit with a units:: factor (e.g. 12.5 * units::GBps)"});
+    }
+  }
+}
+
+void scan_mixed_dimension_arith(
+    const std::vector<Token>& toks,
+    const std::map<std::string, std::string>& symbols,
+    const std::string& path, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    const Token& a = toks[i];
+    const Token& op = toks[i + 1];
+    const Token& b = toks[i + 2];
+    if (a.kind != Token::Kind::kIdent || b.kind != Token::Kind::kIdent) {
+      continue;
+    }
+    if (op.text != "+" && op.text != "-" && op.text != "+=" &&
+        op.text != "-=") {
+      continue;
+    }
+    // Member accesses (`x.bytes`) are not the locals the table knows, and
+    // an operand glued to * or / takes its dimension from the whole
+    // product (`chunk / bw + overhead` is Time + Time), so only bare
+    // `local (+|-) local` pairs are judged.
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+                  toks[i - 1].text == "::" || toks[i - 1].text == "*" ||
+                  toks[i - 1].text == "/")) {
+      continue;
+    }
+    if (i + 3 < toks.size() && (toks[i + 3].text == "." ||
+                                toks[i + 3].text == "->" ||
+                                toks[i + 3].text == "::" ||
+                                toks[i + 3].text == "(" ||
+                                toks[i + 3].text == "*" ||
+                                toks[i + 3].text == "/")) {
+      continue;
+    }
+    const auto ia = symbols.find(a.text);
+    const auto ib = symbols.find(b.text);
+    if (ia == symbols.end() || ib == symbols.end()) continue;
+    if (ia->second == ib->second) continue;
+    out.push_back({path, op.line, "mixed-dimension-arith",
+                   "'" + a.text + "' (" + ia->second + ") " + op.text +
+                       " '" + b.text + "' (" + ib->second +
+                       "): additive arithmetic across dimensions is "
+                       "always a unit bug"});
+  }
+}
+
+void scan_unconsumed_estimate(const std::vector<Token>& toks,
+                              const std::string& path,
+                              std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent ||
+        (toks[i].text != "estimate_path" && toks[i].text != "load")) {
+      continue;
+    }
+    if (toks[i + 1].text != "(") continue;
+    // Find the call's closing paren; the statement must end right after.
+    int depth = 0;
+    std::size_t close = i + 1;
+    for (; close < toks.size(); ++close) {
+      if (toks[close].text == "(") ++depth;
+      if (toks[close].text == ")" && --depth == 0) break;
+    }
+    if (close + 1 >= toks.size() || toks[close + 1].text != ";") continue;
+    // Walk back over the callee chain (`net . estimate_path`): the token
+    // before the chain tells whether the value is consumed.
+    std::size_t head = i;
+    while (head >= 2 && (toks[head - 1].text == "." ||
+                         toks[head - 1].text == "->" ||
+                         toks[head - 1].text == "::") &&
+           toks[head - 2].kind == Token::Kind::kIdent) {
+      head -= 2;
+    }
+    const std::string prev = head == 0 ? ";" : toks[head - 1].text;
+    if (prev == ";" || prev == "{" || prev == "}" || prev == ")") {
+      out.push_back({path, toks[i].line, "unconsumed-estimate",
+                     "result of '" + toks[i].text +
+                         "()' is discarded: it is a pure query, so the "
+                         "call without its value is dead (assign it or "
+                         "delete the call)"});
+    }
+  }
+}
+
+void scan_unordered_iter_to_output(const MaskedSource& src,
+                                   const std::string& path,
+                                   std::vector<Finding>& out) {
+  const std::set<std::string> names = unordered_names(src);
+  if (names.empty()) return;
+  static const std::regex range_for(
+      R"(for\s*\([^():]*:\s*\(?\s*\*?\s*([A-Za-z_]\w*)\s*\))");
+  static const std::regex sink(
+      R"(\b(instant|counter|begin_span|end_span|async_begin|async_end|add_row|printf|fprintf)\s*\()");
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(src.code[i], m, range_for) ||
+        !names.contains(m[1].str())) {
+      continue;
+    }
+    // Loop body: from the for-line to the line where brace depth returns
+    // to its pre-loop level (or the next ';' for a braceless body).
+    int depth = 0;
+    bool saw_brace = false;
+    for (std::size_t j = i; j < src.code.size() && j < i + 64; ++j) {
+      for (const char c : src.code[j]) {
+        if (c == '{') {
+          ++depth;
+          saw_brace = true;
+        } else if (c == '}') {
+          --depth;
+        }
+      }
+      if (std::regex_search(src.code[j], sink)) {
+        out.push_back(
+            {path, static_cast<int>(i) + 1, "unordered-iter-to-output",
+             "range-for over unordered container '" + m[1].str() +
+                 "' emits into a trace/report sink: emitted ordering "
+                 "would follow the stdlib hash; iterate sorted keys"});
+        break;
+      }
+      if (saw_brace && depth <= 0) break;
+      if (!saw_brace && src.code[j].find(';') != std::string::npos) break;
+    }
+  }
+}
+
 }  // namespace
 
 FileContext classify_path(const std::string& path) {
@@ -461,32 +809,54 @@ FileContext classify_path(const std::string& path) {
   return ctx;
 }
 
-std::vector<Finding> lint_source(const std::string& path,
-                                 const std::string& content,
-                                 const FileContext& ctx) {
+LintReport lint_source_report(const std::string& path,
+                              const std::string& content,
+                              const FileContext& ctx) {
   const MaskedSource src = mask(content);
   const Suppressions sup = collect_suppressions(src);
+  const std::vector<Token> toks = tokenize(src);
+  const std::map<std::string, std::string> symbols = unit_symbols(toks);
 
   std::vector<Finding> raw;
   scan_unordered_iter(src, path, raw);
+  scan_unordered_iter_to_output(src, path, raw);
   scan_wall_clock(src, path, raw);
   if (!ctx.rng_module) scan_ambient_rng(src, path, raw);
   scan_float_equal(src, path, raw);
   if (ctx.library) scan_iostream(src, path, raw);
   scan_uninit_member(src, path, raw);
+  scan_raw_unit_literal(toks, symbols, path, raw);
+  scan_mixed_dimension_arith(toks, symbols, path, raw);
+  scan_unconsumed_estimate(toks, path, raw);
 
-  std::vector<Finding> kept;
+  LintReport report;
   for (Finding& f : raw) {
-    if (!sup.covers(f.rule, f.line)) kept.push_back(std::move(f));
+    (sup.covers(f.rule, f.line) ? report.suppressed : report.findings)
+        .push_back(std::move(f));
   }
-  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+  const auto by_pos = [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;
-  });
-  return kept;
+  };
+  std::sort(report.findings.begin(), report.findings.end(), by_pos);
+  std::sort(report.suppressed.begin(), report.suppressed.end(), by_pos);
+  return report;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 const FileContext& ctx) {
+  return lint_source_report(path, content, ctx).findings;
 }
 
 const std::vector<std::string>& rule_ids() { return kRuleIds; }
+
+std::string rule_summary(const std::string& rule) {
+  for (const RuleDoc& d : kRuleDocs) {
+    if (rule == d.id) return d.summary;
+  }
+  return {};
+}
 
 std::string to_json(const std::vector<Finding>& findings) {
   auto escape = [](const std::string& s) {
@@ -514,6 +884,54 @@ std::string to_json(const std::vector<Finding>& findings) {
   }
   json += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
   return json;
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  };
+  std::string s;
+  s += "{\n";
+  s += "  \"$schema\": "
+       "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  s += "  \"version\": \"2.1.0\",\n";
+  s += "  \"runs\": [{\n";
+  s += "    \"tool\": {\"driver\": {\n";
+  s += "      \"name\": \"hero-lint\",\n";
+  s += "      \"rules\": [";
+  for (std::size_t i = 0; i < kRuleIds.size(); ++i) {
+    s += i == 0 ? "\n" : ",\n";
+    s += "        {\"id\": \"" + escape(kRuleIds[i]) +
+         "\", \"shortDescription\": {\"text\": \"" +
+         escape(rule_summary(kRuleIds[i])) + "\"}}";
+  }
+  s += "\n      ]\n";
+  s += "    }},\n";
+  s += "    \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    s += i == 0 ? "\n" : ",\n";
+    s += "      {\"ruleId\": \"" + escape(f.rule) +
+         "\", \"level\": \"warning\", \"message\": {\"text\": \"" +
+         escape(f.message) + "\"}, \"locations\": [{\"physicalLocation\": "
+         "{\"artifactLocation\": {\"uri\": \"" + escape(f.file) +
+         "\"}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+         "}}}]}";
+  }
+  s += findings.empty() ? "]\n" : "\n    ]\n";
+  s += "  }]\n";
+  s += "}\n";
+  return s;
 }
 
 }  // namespace herolint

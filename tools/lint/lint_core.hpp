@@ -4,17 +4,14 @@
 // The whole stack is a deterministic discrete-event simulation; the
 // planner (Alg. 1-2) and online scheduler (Eq. 16-18) are reproducible
 // only while nothing in the hot path depends on hash order, wall clocks,
-// or ambient randomness. hero-lint is a plain-text/token scanner (no
-// libclang) that enforces those properties plus two generic correctness
-// rules. Rules:
+// or ambient randomness — and physically meaningful only while every
+// seconds/bytes/bandwidth value carries the dimension its variable
+// claims. hero-lint is a plain-text/token scanner (no libclang): v1
+// rules work line-by-line on comment-masked source; v2 rules run over a
+// token stream plus a per-file symbol table of unit-typed locals
+// (Time/Bytes/Bandwidth/Rate/Tokens/TokenRate/WorkUnits/WorkRate
+// declarations), which lets them reason about value flow. Rule catalog:
 //
-//   unordered-iter  iteration (range-for / .begin()/.end()) over a
-//                   variable declared as std::unordered_map/set in the
-//                   same file — event ordering and fair-share tie-breaks
-//                   must not depend on the stdlib's hash function.
-//   wall-clock      ambient time sources (system_clock, steady_clock,
-//                   time(), clock(), gettimeofday) — simulated time comes
-//                   from sim::Simulator::now().
 //   ambient-rng     ambient randomness (rand, srand, random_device,
 //                   mt19937, drand48) outside src/common/rng — all
 //                   stochastic behaviour flows from a seeded hero::Rng.
@@ -22,13 +19,46 @@
 //                   epsilon or integer state instead.
 //   iostream        #include <iostream> in library code (src/) — library
 //                   targets log through common/log, never global streams.
+//   mixed-dimension-arith
+//                   + / - / += / -= combining two unit-typed locals of
+//                   different dimensions (e.g. `bytes + latency`): under
+//                   the plain-double build this compiles and silently
+//                   produces nonsense; under HERO_STRONG_UNITS it is a
+//                   compile error. The lint catches it in both modes.
+//   raw-unit-literal
+//                   a unit-typed variable initialized or assigned from a
+//                   bare "conversion-factor-shaped" literal expression —
+//                   scientific notation or magnitude >= 1000 — with no
+//                   units:: factor (e.g. `Bandwidth bw = 12.5e9;`).
+//                   Spell the unit: `12.5 * units::GBps`. Human-scale
+//                   base-unit values (`Time sla = 2.5;`) are accepted.
+//   unconsumed-estimate
+//                   a call to estimate_path(...) or .load(...) whose
+//                   result is discarded (expression statement): both are
+//                   pure queries, so a dropped return value is always a
+//                   bug — usually a missing assignment.
 //   uninit-member   scalar/pointer data member without an initializer in
 //                   a struct/class body — aggregate instances inherit
 //                   indeterminate values.
+//   unordered-iter  iteration (range-for / .begin()/.end()) over a
+//                   variable declared as std::unordered_map/set in the
+//                   same file — event ordering and fair-share tie-breaks
+//                   must not depend on the stdlib's hash function.
+//   unordered-iter-to-output
+//                   a range-for over an unordered container whose body
+//                   emits into a trace/report sink (tracer spans or
+//                   instants, counters, table rows, printf) — the
+//                   emitted artifact's ordering would depend on the
+//                   stdlib hash, breaking byte-identical reruns.
+//   wall-clock      ambient time sources (system_clock, steady_clock,
+//                   time(), clock(), gettimeofday) — simulated time comes
+//                   from sim::Simulator::now().
 //
 // Suppressions: `// hero-lint: allow(rule-a, rule-b)` on the finding's
 // line or the line directly above; `// hero-lint: allow-file(rule)`
-// anywhere in the file suppresses the rule file-wide.
+// anywhere in the file suppresses the rule file-wide. Suppressed
+// findings are retained in LintReport::suppressed so the CLI's --stats
+// can account for every allow().
 #pragma once
 
 #include <string>
@@ -52,16 +82,36 @@ struct FileContext {
 /// Classify a path by repo conventions ("src/" => library code).
 [[nodiscard]] FileContext classify_path(const std::string& path);
 
+/// Everything one file produced: the findings that survive suppression
+/// and the ones an allow()/allow-file() swallowed (for --stats).
+struct LintReport {
+  std::vector<Finding> findings;
+  std::vector<Finding> suppressed;
+};
+
 /// Lint one source file. `path` is used for reporting only; scoping comes
-/// from `ctx`. Suppressed findings are dropped.
+/// from `ctx`.
+[[nodiscard]] LintReport lint_source_report(const std::string& path,
+                                            const std::string& content,
+                                            const FileContext& ctx);
+
+/// Back-compat wrapper: suppressed findings dropped.
 [[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
                                                const std::string& content,
                                                const FileContext& ctx);
 
-/// Stable list of every rule id.
+/// Stable (sorted) list of every rule id.
 [[nodiscard]] const std::vector<std::string>& rule_ids();
+
+/// One-line summary for a rule id (empty for unknown ids) — the SARIF
+/// rules table and --list-rules share it.
+[[nodiscard]] std::string rule_summary(const std::string& rule);
 
 /// Machine-readable report.
 [[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 report (one run, one result per finding) for code-scanning
+/// uploads.
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
 
 }  // namespace herolint
