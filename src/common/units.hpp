@@ -94,10 +94,10 @@ class Quantity {
     return a.v_ >= b.v_;
   }
   friend constexpr bool operator==(Quantity a, Quantity b) {
-    return a.v_ == b.v_;  // hero-lint: allow(float-equal)
+    return a.v_ == b.v_;
   }
   friend constexpr bool operator!=(Quantity a, Quantity b) {
-    return a.v_ != b.v_;  // hero-lint: allow(float-equal)
+    return a.v_ != b.v_;
   }
 
   friend std::ostream& operator<<(std::ostream& os, Quantity a) {

@@ -1,0 +1,11 @@
+// Fixture: a simulator dispatch entry point (ClusterSim is in
+// hero-lint's entry-class table) whose step path crosses a TU boundary
+// into helper_sink.cpp's wall-clock read. lint_test.cpp feeds both files
+// to analyze_project and expects a transitive-wall-clock finding whose
+// chain walks ClusterSim::step -> helper_tick.
+#include "helper_sink.hpp"
+
+struct ClusterSim {
+  void step() { elapsed_ += helper_tick(); }
+  double elapsed_ = 0.0;
+};

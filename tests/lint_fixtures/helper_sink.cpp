@@ -1,0 +1,15 @@
+// Fixture: the sink TU. The direct wall-clock use is suppressed — the
+// author "justified" it locally — but sinks are collected from the raw,
+// pre-suppression findings, so dispatch reachability from
+// entry_dispatch.cpp still surfaces it as transitive-wall-clock: being
+// on the simulator's dispatch path is a different bug than the one the
+// local allow() argued away.
+#include "helper_sink.hpp"
+
+#include <chrono>
+
+double helper_tick() {
+  // hero-lint: allow(wall-clock) — fixture: locally justified timing
+  auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}

@@ -1,0 +1,6 @@
+// Fixture header: declares the helper whose definition (helper_sink.cpp)
+// hides a wall-clock read. Part of the cross-TU reachability fixture for
+// lint_test.cpp — not production code.
+#pragma once
+
+double helper_tick();

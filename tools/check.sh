@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Run the repo's correctness gates:
-#   1. hero-lint over src/, examples/, bench/ (determinism static analysis)
+#   1. hero-lint over src/, tools/, bench/, examples/ (per-file rules
+#      plus whole-program call-graph/layer/cycle analysis)
 #   2. the tier-1 test suite under AddressSanitizer + UBSanitizer
 #
 #   tools/check.sh [extra ctest args...]
@@ -15,7 +16,7 @@ cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"
 
 echo "== hero-lint =="
-./build-asan/tools/lint/hero_lint src examples bench
+./build-asan/tools/lint/hero_lint src tools bench examples
 
 echo "== ctest (asan-ubsan) =="
 ctest --preset asan-ubsan -j "$(nproc)" "$@"

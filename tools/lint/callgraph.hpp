@@ -1,0 +1,88 @@
+// hero-lint whole-program analysis: the call graph over a ProjectIndex
+// and the v3 graph rules.
+//
+//   transitive-wall-clock / transitive-rng / transitive-unordered-iter
+//       a nondeterminism sink (detected by the per-file rules in any TU)
+//       inside a function reachable from simulator event dispatch. The
+//       entry-point set is every method of the dispatch-side classes
+//       (kEntryClasses below: the simulator core, the serving/step
+//       paths, the router/scheduler decision points, the collective and
+//       switch engines, the fault injector). The finding reports the
+//       full call chain entry -> ... -> sink.
+//   layer-violation
+//       an include edge between src/ subsystems the declared layer DAG
+//       (tools/lint/layers.txt) does not allow.
+//   include-cycle
+//       a cycle in the quoted-include graph among indexed files.
+//   stale-suppression
+//       a `hero-lint: allow(...)` comment that suppressed nothing after
+//       every per-file and project rule has run.
+//
+// Call resolution is name-based and deliberately over-approximate (no
+// types): `x.step()` links to every method named `step`; unqualified
+// `helper()` links to every project function named `helper`; `std::`
+// qualified calls never link. Over-approximation can only add edges, so
+// reachability errs on the side of flagging — suppress with a
+// justification comment when a chain is provably dead.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+#include "lint_core.hpp"
+
+namespace herolint {
+
+/// The declared layer DAG: each src/ subsystem and the subsystems it may
+/// include from. Parsed from tools/lint/layers.txt (`name: dep dep ...`,
+/// '#' comments). Self-dependencies are implicit.
+struct LayerSpec {
+  std::map<std::string, std::set<std::string>> allowed;
+  std::vector<std::string> errors;  ///< malformed lines, undeclared deps
+  std::string cycle;  ///< "a -> b -> a" when the declared graph is cyclic
+
+  [[nodiscard]] static LayerSpec parse(const std::string& text);
+  [[nodiscard]] bool declared(const std::string& subsystem) const {
+    return allowed.contains(subsystem);
+  }
+};
+
+/// Name-resolved call graph: out[f] is the sorted, deduplicated list of
+/// function ids function f may call.
+struct CallGraph {
+  std::vector<std::vector<int>> out;
+
+  [[nodiscard]] static CallGraph build(const ProjectIndex& index);
+};
+
+/// Classes whose methods are reachability roots (simulator dispatch).
+[[nodiscard]] const std::vector<std::string>& entry_classes();
+
+/// True when `fn` is an entry point.
+[[nodiscard]] bool is_entry(const FunctionDef& fn);
+
+struct AnalyzeOptions {
+  /// Layer DAG source text; empty disables the layer-violation rule.
+  std::string layers_text;
+  /// Reporting label for layer findings (the file the text came from).
+  std::string layers_path = "tools/lint/layers.txt";
+};
+
+/// Run every rule — per-file and whole-program — over the index.
+/// Consumes suppressions (mutating each FileRecord's inventory) and then
+/// reports the unconsumed ones as stale-suppression. Findings are sorted
+/// by (file, line, rule).
+[[nodiscard]] LintReport analyze_project(ProjectIndex& index,
+                                         const AnalyzeOptions& opts);
+
+/// Graphviz dump of the dispatch-reachable call graph: entry points
+/// boxed, sink functions red, edges restricted to reachable nodes.
+[[nodiscard]] std::string callgraph_dot(const ProjectIndex& index);
+
+/// Graphviz dump of the resolved quoted-include graph.
+[[nodiscard]] std::string include_dot(const ProjectIndex& index);
+
+}  // namespace herolint

@@ -1,10 +1,13 @@
-// hero_lint CLI: walk the given files/directories, lint every C++
-// source, print findings as `file:line: [rule] message`, and exit
+// hero_lint CLI: walk the given files/directories, index every C++
+// source into a ProjectIndex, run the per-file AND whole-program rules
+// (call-graph reachability, layer DAG, include cycles, stale
+// suppressions), print findings as `file:line: [rule] message`, and exit
 // non-zero when anything unsuppressed fires. See lint_core.hpp for the
-// rule catalogue.
+// rule catalogue and callgraph.hpp for the graph rules.
 //
 // Usage: hero_lint [--json out.json] [--sarif out.sarif] [--stats]
-//                  [--list-rules] [paths...]
+//                  [--list-rules] [--layers FILE] [--graph-dot BASE]
+//                  [paths...]
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -14,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "callgraph.hpp"
+#include "index.hpp"
 #include "lint_core.hpp"
 
 namespace {
@@ -76,6 +81,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::string json_path;
   std::string sarif_path;
+  std::string dot_base;
+  std::string layers_path = "tools/lint/layers.txt";
+  bool layers_explicit = false;
   bool stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,12 +94,23 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    if (arg == "--json" || arg == "--sarif") {
+    if (arg == "--json" || arg == "--sarif" || arg == "--graph-dot" ||
+        arg == "--layers") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "hero_lint: %s needs a path\n", arg.c_str());
         return 2;
       }
-      (arg == "--json" ? json_path : sarif_path) = argv[++i];
+      const std::string value = argv[++i];
+      if (arg == "--json") {
+        json_path = value;
+      } else if (arg == "--sarif") {
+        sarif_path = value;
+      } else if (arg == "--graph-dot") {
+        dot_base = value;
+      } else {
+        layers_path = value;
+        layers_explicit = true;
+      }
       continue;
     }
     if (arg == "--stats") {
@@ -101,17 +120,37 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: hero_lint [--json out.json] [--sarif out.sarif] "
-          "[--stats] [--list-rules] [paths...]\n");
+          "[--stats] [--list-rules] [--layers FILE] [--graph-dot BASE] "
+          "[paths...]\n"
+          "  --layers FILE     layer DAG spec (default "
+          "tools/lint/layers.txt;\n"
+          "                    a missing default just disables the "
+          "layer-violation rule)\n"
+          "  --graph-dot BASE  write BASE.calls.dot (dispatch-reachable "
+          "call graph)\n"
+          "                    and BASE.includes.dot (quoted-include "
+          "graph)\n");
       return 0;
     }
     roots.push_back(arg);
   }
-  if (roots.empty()) roots = {"src", "examples", "bench"};
+  if (roots.empty()) roots = {"src", "tools", "bench", "examples"};
 
-  std::vector<herolint::Finding> all;
-  std::map<std::string, std::size_t> fired, allowed;
+  herolint::AnalyzeOptions opts;
+  opts.layers_path = layers_path;
+  if (!read_file(layers_path, opts.layers_text)) {
+    if (layers_explicit) {
+      std::fprintf(stderr, "hero_lint: cannot read layers file '%s'\n",
+                   layers_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "hero_lint: note: no '%s'; layer-violation rule skipped\n",
+                 layers_path.c_str());
+  }
+
+  herolint::ProjectIndex index;
   std::size_t files_seen = 0;
-  std::size_t suppressed_total = 0;
   for (const std::string& root : roots) {
     for (const std::string& file : collect(root)) {
       std::string content;
@@ -120,31 +159,35 @@ int main(int argc, char** argv) {
         continue;
       }
       ++files_seen;
-      const herolint::FileContext ctx = herolint::classify_path(file);
-      herolint::LintReport report =
-          herolint::lint_source_report(file, content, ctx);
-      for (const herolint::Finding& f : report.suppressed) {
-        ++allowed[f.rule];
-        ++suppressed_total;
-      }
-      for (herolint::Finding& f : report.findings) {
-        ++fired[f.rule];
-        all.push_back(std::move(f));
-      }
+      index.add_file(file, content);
     }
   }
 
-  for (const herolint::Finding& f : all) {
+  herolint::LintReport report = herolint::analyze_project(index, opts);
+
+  std::map<std::string, std::size_t> fired, allowed;
+  for (const herolint::Finding& f : report.suppressed) ++allowed[f.rule];
+  for (const herolint::Finding& f : report.findings) {
+    ++fired[f.rule];
     std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                 f.message.c_str());
   }
+
   if (!json_path.empty() &&
-      !write_report(json_path, herolint::to_json(all))) {
+      !write_report(json_path, herolint::to_json(report.findings))) {
     return 2;
   }
   if (!sarif_path.empty() &&
-      !write_report(sarif_path, herolint::to_sarif(all))) {
+      !write_report(sarif_path, herolint::to_sarif(report.findings))) {
     return 2;
+  }
+  if (!dot_base.empty()) {
+    if (!write_report(dot_base + ".calls.dot",
+                      herolint::callgraph_dot(index)) ||
+        !write_report(dot_base + ".includes.dot",
+                      herolint::include_dot(index))) {
+      return 2;
+    }
   }
   if (stats) {
     std::printf("%-25s %7s %8s\n", "rule", "fired", "allowed");
@@ -155,7 +198,9 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("hero_lint: %zu finding%s (%zu allowed) in %zu file%s\n",
-              all.size(), all.size() == 1 ? "" : "s", suppressed_total,
-              files_seen, files_seen == 1 ? "" : "s");
-  return all.empty() ? 0 : 1;
+              report.findings.size(),
+              report.findings.size() == 1 ? "" : "s",
+              report.suppressed.size(), files_seen,
+              files_seen == 1 ? "" : "s");
+  return report.findings.empty() ? 0 : 1;
 }

@@ -11,8 +11,8 @@ namespace herolint {
 namespace {
 
 struct RuleDoc {
-  const char* id;
-  const char* summary;
+  const char* id = nullptr;
+  const char* summary = nullptr;
 };
 
 const RuleDoc kRuleDocs[] = {
@@ -22,14 +22,31 @@ const RuleDoc kRuleDocs[] = {
     {"float-equal",
      "exact ==/!= against a floating-point literal; use an epsilon or "
      "integer state"},
+    {"include-cycle",
+     "cycle in the quoted-include graph; break it with a forward "
+     "declaration or a split header"},
     {"iostream",
      "<iostream> in library code; log via common/log"},
+    {"layer-violation",
+     "include edge between src/ subsystems that the declared layer DAG "
+     "(tools/lint/layers.txt) does not allow"},
     {"mixed-dimension-arith",
      "+/- combining unit-typed locals of different dimensions (e.g. "
      "bytes + seconds)"},
     {"raw-unit-literal",
      "unit-typed variable set from a conversion-factor-shaped literal "
      "without a units:: factor"},
+    {"stale-suppression",
+     "hero-lint: allow() comment that no longer suppresses any finding"},
+    {"transitive-rng",
+     "ambient randomness reachable from simulator dispatch through the "
+     "whole-program call graph"},
+    {"transitive-unordered-iter",
+     "hash-ordered iteration reachable from simulator dispatch through "
+     "the whole-program call graph"},
+    {"transitive-wall-clock",
+     "wall-clock source reachable from simulator dispatch through the "
+     "whole-program call graph"},
     {"unconsumed-estimate",
      "discarded result of estimate_path()/load(); both are pure queries"},
     {"uninit-member",
@@ -50,248 +67,6 @@ const std::vector<std::string> kRuleIds = [] {
   for (const RuleDoc& d : kRuleDocs) ids.push_back(d.id);
   return ids;
 }();
-
-/// Split `content` into per-line code text (comments and string/char
-/// literal bodies blanked out with spaces, lengths preserved) and per-line
-/// comment text (everything else blanked). Keeping lengths identical makes
-/// every match index a valid (line, column) in the original file.
-struct MaskedSource {
-  std::vector<std::string> code;
-  std::vector<std::string> comments;
-};
-
-MaskedSource mask(const std::string& content) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  MaskedSource out;
-  std::string code_line, comment_line;
-  State state = State::kCode;
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    if (c == '\n') {
-      out.code.push_back(std::move(code_line));
-      out.comments.push_back(std::move(comment_line));
-      code_line.clear();
-      comment_line.clear();
-      if (state == State::kLineComment) state = State::kCode;
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          code_line += "  ";
-          comment_line += "//";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          code_line += "  ";
-          comment_line += "/*";
-          ++i;
-        } else if (c == '"') {
-          state = State::kString;
-          code_line += '"';
-          comment_line += ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          code_line += '\'';
-          comment_line += ' ';
-        } else {
-          code_line += c;
-          comment_line += ' ';
-        }
-        break;
-      case State::kLineComment:
-        code_line += ' ';
-        comment_line += c;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          code_line += "  ";
-          comment_line += "*/";
-          ++i;
-        } else {
-          code_line += ' ';
-          comment_line += c;
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          code_line += "  ";
-          comment_line += "  ";
-          if (next != '\0' && next != '\n') ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          code_line += '"';
-          comment_line += ' ';
-        } else {
-          code_line += ' ';
-          comment_line += ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          code_line += "  ";
-          comment_line += "  ";
-          if (next != '\0' && next != '\n') ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          code_line += '\'';
-          comment_line += ' ';
-        } else {
-          code_line += ' ';
-          comment_line += ' ';
-        }
-        break;
-    }
-  }
-  out.code.push_back(std::move(code_line));
-  out.comments.push_back(std::move(comment_line));
-  return out;
-}
-
-/// Parse a comma-separated rule list out of "...allow(rule-a, rule-b)...".
-std::set<std::string> parse_allow_list(const std::string& text,
-                                       std::size_t open_paren) {
-  std::set<std::string> rules;
-  const std::size_t close = text.find(')', open_paren);
-  if (close == std::string::npos) return rules;
-  std::string inside = text.substr(open_paren + 1, close - open_paren - 1);
-  std::stringstream ss(inside);
-  std::string rule;
-  while (std::getline(ss, rule, ',')) {
-    const auto b = rule.find_first_not_of(" \t");
-    const auto e = rule.find_last_not_of(" \t");
-    if (b != std::string::npos) rules.insert(rule.substr(b, e - b + 1));
-  }
-  return rules;
-}
-
-struct Suppressions {
-  std::set<std::string> file_wide;
-  std::map<int, std::set<std::string>> per_line;  // 1-based line numbers
-
-  [[nodiscard]] bool covers(const std::string& rule, int line) const {
-    if (file_wide.contains(rule)) return true;
-    for (int l : {line, line - 1}) {
-      auto it = per_line.find(l);
-      if (it != per_line.end() && it->second.contains(rule)) return true;
-    }
-    return false;
-  }
-};
-
-Suppressions collect_suppressions(const MaskedSource& src) {
-  Suppressions sup;
-  for (std::size_t i = 0; i < src.comments.size(); ++i) {
-    const std::string& text = src.comments[i];
-    std::size_t pos = text.find("hero-lint:");
-    while (pos != std::string::npos) {
-      const std::size_t file_marker = text.find("allow-file(", pos);
-      const std::size_t line_marker = text.find("allow(", pos);
-      if (file_marker != std::string::npos) {
-        for (const auto& r :
-             parse_allow_list(text, file_marker + 10)) {
-          sup.file_wide.insert(r);
-        }
-      } else if (line_marker != std::string::npos) {
-        for (const auto& r : parse_allow_list(text, line_marker + 5)) {
-          sup.per_line[static_cast<int>(i) + 1].insert(r);
-        }
-      }
-      pos = text.find("hero-lint:", pos + 1);
-    }
-  }
-  return sup;
-}
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True when `text[pos]` starts a freestanding call-like token: not a
-/// member access (`.x`, `->x`), not the tail of a longer identifier.
-/// `::` prefixes are allowed (std::time must be flagged).
-bool freestanding_token(const std::string& text, std::size_t pos) {
-  if (pos == 0) return true;
-  const char prev = text[pos - 1];
-  if (ident_char(prev) || prev == '.') return false;
-  if (prev == '>' && pos >= 2 && text[pos - 2] == '-') return false;
-  return true;
-}
-
-/// Occurrences of `token` followed (after spaces) by '(' that are real
-/// freestanding calls.
-std::vector<std::size_t> find_calls(const std::string& line,
-                                    const std::string& token) {
-  std::vector<std::size_t> hits;
-  std::size_t pos = line.find(token);
-  while (pos != std::string::npos) {
-    std::size_t after = pos + token.size();
-    while (after < line.size() && line[after] == ' ') ++after;
-    if (after < line.size() && line[after] == '(' &&
-        freestanding_token(line, pos)) {
-      hits.push_back(pos);
-    }
-    pos = line.find(token, pos + 1);
-  }
-  return hits;
-}
-
-/// Names declared as std::unordered_map/std::unordered_set in this file.
-/// Token-scans `unordered_map<...> name` with balanced angle brackets;
-/// declarations may span lines.
-std::set<std::string> unordered_names(const MaskedSource& src) {
-  std::string joined;
-  for (const std::string& line : src.code) {
-    joined += line;
-    joined += '\n';
-  }
-  std::set<std::string> names;
-  for (const char* kind : {"unordered_map", "unordered_set"}) {
-    std::size_t pos = joined.find(kind);
-    for (; pos != std::string::npos; pos = joined.find(kind, pos + 1)) {
-      if (pos > 0 && ident_char(joined[pos - 1])) continue;
-      std::size_t i = pos + std::string(kind).size();
-      while (i < joined.size() && std::isspace(static_cast<unsigned char>(
-                                      joined[i]))) {
-        ++i;
-      }
-      if (i >= joined.size() || joined[i] != '<') continue;
-      int depth = 0;
-      for (; i < joined.size(); ++i) {
-        if (joined[i] == '<') ++depth;
-        if (joined[i] == '>') {
-          // Treat >> as two closers (nested template arguments).
-          if (--depth == 0) break;
-        }
-      }
-      if (depth != 0) break;
-      ++i;  // past the closing '>'
-      // Optional cv/ref decoration, then the declared name.
-      while (i < joined.size() &&
-             (std::isspace(static_cast<unsigned char>(joined[i])) ||
-              joined[i] == '&' || joined[i] == '*')) {
-        ++i;
-      }
-      std::size_t name_begin = i;
-      while (i < joined.size() && ident_char(joined[i])) ++i;
-      if (i == name_begin) continue;
-      const std::string name = joined.substr(name_begin, i - name_begin);
-      while (i < joined.size() &&
-             std::isspace(static_cast<unsigned char>(joined[i]))) {
-        ++i;
-      }
-      if (i < joined.size() && (joined[i] == ';' || joined[i] == '=' ||
-                                joined[i] == '{' || joined[i] == ',' ||
-                                joined[i] == ')')) {
-        names.insert(name);
-      }
-    }
-  }
-  return names;
-}
 
 void scan_unordered_iter(const MaskedSource& src,
                          const std::string& path,
@@ -486,79 +261,9 @@ void scan_uninit_member(const MaskedSource& src, const std::string& path,
 }
 
 // ---------------------------------------------------------------------------
-// v2 flow-aware rules: a lightweight tokenizer over the masked code plus a
-// per-file symbol table of unit-typed locals. Tokens carry their source
-// line so findings stay clickable.
-
-struct Token {
-  enum class Kind { kIdent, kNumber, kPunct };
-  Kind kind = Kind::kPunct;
-  std::string text;
-  int line = 0;  // 1-based
-};
-
-bool starts_number(const std::string& s, std::size_t i) {
-  const char c = s[i];
-  if (std::isdigit(static_cast<unsigned char>(c)) != 0) return true;
-  return c == '.' && i + 1 < s.size() &&
-         std::isdigit(static_cast<unsigned char>(s[i + 1])) != 0;
-}
-
-std::vector<Token> tokenize(const MaskedSource& src) {
-  static const char* kTwoCharPunct[] = {"::", "->", "==", "!=", "<=", ">=",
-                                        "+=", "-=", "*=", "/=", "&&", "||",
-                                        "<<", ">>"};
-  std::vector<Token> toks;
-  for (std::size_t li = 0; li < src.code.size(); ++li) {
-    const std::string& s = src.code[li];
-    const int line = static_cast<int>(li) + 1;
-    std::size_t i = 0;
-    while (i < s.size()) {
-      const char c = s[i];
-      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-        ++i;
-        continue;
-      }
-      if (ident_char(c) && !starts_number(s, i)) {
-        std::size_t j = i;
-        while (j < s.size() && ident_char(s[j])) ++j;
-        toks.push_back({Token::Kind::kIdent, s.substr(i, j - i), line});
-        i = j;
-        continue;
-      }
-      if (starts_number(s, i)) {
-        std::size_t j = i;
-        while (j < s.size() &&
-               (ident_char(s[j]) || s[j] == '.' || s[j] == '\'')) {
-          // Exponent sign belongs to the literal: 1e-9, 0x1p+3.
-          if ((s[j] == 'e' || s[j] == 'E' || s[j] == 'p' || s[j] == 'P') &&
-              j + 1 < s.size() && (s[j + 1] == '+' || s[j + 1] == '-')) {
-            j += 2;
-          } else {
-            ++j;
-          }
-        }
-        toks.push_back({Token::Kind::kNumber, s.substr(i, j - i), line});
-        i = j;
-        continue;
-      }
-      bool matched = false;
-      for (const char* two : kTwoCharPunct) {
-        if (s.compare(i, 2, two) == 0) {
-          toks.push_back({Token::Kind::kPunct, two, line});
-          i += 2;
-          matched = true;
-          break;
-        }
-      }
-      if (!matched) {
-        toks.push_back({Token::Kind::kPunct, std::string(1, c), line});
-        ++i;
-      }
-    }
-  }
-  return toks;
-}
+// v2 flow-aware rules: run over the shared token stream (source_text.hpp)
+// plus a per-file symbol table of unit-typed locals. Tokens carry their
+// source line so findings stay clickable.
 
 bool is_unit_type(const std::string& t) {
   static const std::set<std::string> kUnits = {
@@ -809,12 +514,10 @@ FileContext classify_path(const std::string& path) {
   return ctx;
 }
 
-LintReport lint_source_report(const std::string& path,
-                              const std::string& content,
-                              const FileContext& ctx) {
-  const MaskedSource src = mask(content);
-  const Suppressions sup = collect_suppressions(src);
-  const std::vector<Token> toks = tokenize(src);
+std::vector<Finding> raw_file_findings(const std::string& path,
+                                       const MaskedSource& src,
+                                       const std::vector<Token>& toks,
+                                       const FileContext& ctx) {
   const std::map<std::string, std::string> symbols = unit_symbols(toks);
 
   std::vector<Finding> raw;
@@ -829,17 +532,25 @@ LintReport lint_source_report(const std::string& path,
   scan_mixed_dimension_arith(toks, symbols, path, raw);
   scan_unconsumed_estimate(toks, path, raw);
 
-  LintReport report;
-  for (Finding& f : raw) {
-    (sup.covers(f.rule, f.line) ? report.suppressed : report.findings)
-        .push_back(std::move(f));
-  }
-  const auto by_pos = [](const Finding& a, const Finding& b) {
+  std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;
-  };
-  std::sort(report.findings.begin(), report.findings.end(), by_pos);
-  std::sort(report.suppressed.begin(), report.suppressed.end(), by_pos);
+  });
+  return raw;
+}
+
+LintReport lint_source_report(const std::string& path,
+                              const std::string& content,
+                              const FileContext& ctx) {
+  const MaskedSource src = mask(content);
+  Suppressions sup = Suppressions::collect(src);
+  const std::vector<Token> toks = tokenize(src);
+
+  LintReport report;
+  for (Finding& f : raw_file_findings(path, src, toks, ctx)) {
+    (sup.consume(f.rule, f.line) ? report.suppressed : report.findings)
+        .push_back(std::move(f));
+  }
   return report;
 }
 

@@ -54,6 +54,16 @@
 //                   time(), clock(), gettimeofday) — simulated time comes
 //                   from sim::Simulator::now().
 //
+// v3 adds whole-program rules over a ProjectIndex/CallGraph (see
+// index.hpp and callgraph.hpp): `transitive-wall-clock`,
+// `transitive-rng`, and `transitive-unordered-iter` flag nondeterminism
+// sinks reachable from simulator dispatch across TU boundaries;
+// `layer-violation` and `include-cycle` police the include graph against
+// the declared layer DAG (tools/lint/layers.txt); `stale-suppression`
+// flags allow() comments that no longer suppress anything. Their docs
+// live in the shared rule catalogue below so --list-rules and the SARIF
+// rules table cover both tiers.
+//
 // Suppressions: `// hero-lint: allow(rule-a, rule-b)` on the finding's
 // line or the line directly above; `// hero-lint: allow-file(rule)`
 // anywhere in the file suppresses the rule file-wide. Suppressed
@@ -63,6 +73,8 @@
 
 #include <string>
 #include <vector>
+
+#include "source_text.hpp"
 
 namespace herolint {
 
@@ -94,6 +106,15 @@ struct LintReport {
 [[nodiscard]] LintReport lint_source_report(const std::string& path,
                                             const std::string& content,
                                             const FileContext& ctx);
+
+/// The per-file rule pipeline with no suppression filtering: every raw
+/// finding, sorted by (line, rule). The whole-program analyzer
+/// (callgraph.hpp) builds on this — it partitions findings against the
+/// file's suppression inventory itself and reuses the raw wall-clock /
+/// ambient-rng / unordered-iter findings as call-graph sink markers.
+[[nodiscard]] std::vector<Finding> raw_file_findings(
+    const std::string& path, const MaskedSource& src,
+    const std::vector<Token>& toks, const FileContext& ctx);
 
 /// Back-compat wrapper: suppressed findings dropped.
 [[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
