@@ -63,7 +63,7 @@ Cell run_cell(std::size_t instances, serve::RouterPolicy policy) {
   cfg.serving.sla_ttft = 2.5;
   cfg.serving.sla_tpot = 0.15;
   cfg.fleet.instances = instances;
-  cfg.fleet.router.policy = policy;
+  cfg.fleet.policy = policy;
 
   Cell cell;
   const FleetExperimentResult r =

@@ -114,7 +114,7 @@ Outcome run_fleet(std::size_t instances) {
   fabric.racks = static_cast<std::int32_t>(instances > 4 ? instances : 4);
   cfg.topology = topo::make_fleet_cluster(fabric);
   cfg.fleet.instances = instances;
-  cfg.fleet.router.policy = serve::RouterPolicy::kHeroServe;
+  cfg.fleet.policy = serve::RouterPolicy::kHeroServe;
   cfg.workload.rate = 1.15 * static_cast<double>(instances);
   cfg.workload.count = scaled(60 * instances);
   return timed([&](SimStats& stats) {

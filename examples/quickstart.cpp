@@ -44,7 +44,7 @@ int run_fleet(const hero::cli::Options& opts, hero::ExperimentConfig cfg,
       opts.instances > 4 ? opts.instances : 4);
   cfg.topology = topo::make_fleet_cluster(fabric);
   cfg.fleet.instances = opts.instances;
-  cfg.fleet.router.policy = serve::RouterPolicy::kHeroServe;
+  cfg.fleet.policy = serve::RouterPolicy::kHeroServe;
   if (!opts.router.empty()) {
     const auto policy = serve::parse_router_policy(opts.router);
     if (!policy) {
@@ -52,12 +52,12 @@ int run_fleet(const hero::cli::Options& opts, hero::ExperimentConfig cfg,
                    opts.router.c_str());
       return 1;
     }
-    cfg.fleet.router.policy = *policy;
+    cfg.fleet.policy = *policy;
   }
 
   std::printf(
       "HeroServe quickstart (fleet): OPT-66B x %zu instances, router = %s\n",
-      opts.instances, serve::to_string(cfg.fleet.router.policy));
+      opts.instances, serve::to_string(cfg.fleet.policy));
   std::printf("rate = %.2f req/s fleet-wide, %zu requests, seed = %llu\n\n",
               rate, requests, static_cast<unsigned long long>(opts.seed));
 

@@ -8,6 +8,7 @@
 #include "common/format.hpp"
 #include "common/log.hpp"
 #include "faults/injector.hpp"
+#include "serving/fleet_controller.hpp"
 
 namespace hero {
 
@@ -190,13 +191,22 @@ ExperimentResult run_experiment(SystemKind kind,
 
 FleetExperimentResult run_fleet_experiment(SystemKind kind,
                                            const ExperimentConfig& cfg) {
+  return run_fleet_experiment(kind, cfg, wl::generate_trace(cfg.workload));
+}
+
+FleetExperimentResult run_fleet_experiment(SystemKind kind,
+                                           const ExperimentConfig& cfg,
+                                           const wl::Trace& trace) {
   FleetExperimentResult result;
-  const wl::Trace trace = wl::generate_trace(cfg.workload);
 
   planner::FleetPlannerInputs fleet_inputs;
   fleet_inputs.base = planner_inputs_for(kind, cfg, trace);
   fleet_inputs.instances = std::max<std::size_t>(cfg.fleet.instances, 1);
+  // The fleet rate is explicit — the planner does its own (single)
+  // per-instance division and echoes it in planned_arrival_rate.
+  fleet_inputs.fleet_arrival_rate = cfg.workload.rate;
   fleet_inputs.balance_stage_rates = cfg.fleet.balance_stage_rates;
+  fleet_inputs.uniform_hardware_pools = cfg.fleet.uniform_hardware_pools;
   planner::FleetPlanner fleet_planner(fleet_inputs);
   result.plan = fleet_planner.plan();
   if (!result.plan.feasible) {
@@ -224,24 +234,34 @@ FleetExperimentResult run_fleet_experiment(SystemKind kind,
 
   // Router randomness follows the experiment seed so `--seed` reruns are
   // reproducible end to end (the config's own seed offsets the stream).
-  serve::RouterConfig router = cfg.fleet.router;
-  router.seed += cfg.serving.seed * 0x9e3779b9ull;
+  serve::FleetConfig fleet_config = cfg.fleet;
+  fleet_config.router_seed += cfg.serving.seed * 0x9e3779b9ull;
 
-  serve::FleetSim fleet(network, engine, router);
-  for (std::size_t i = 0; i < result.plan.instances.size(); ++i) {
-    // Per-instance policy tables: one shared scheduler, prefixed group
-    // names ("i2.group5") so traces and metrics stay attributable.
-    if (hero != nullptr) hero->set_group_prefix(strfmt("i{}.", i));
-    serve::ServingOptions instance_serving = serving;
-    // Decorrelate per-instance kernel noise streams.
-    instance_serving.seed = serving.seed + i * 7919;
-    fleet.add_instance(*scheduler, result.plan.instances[i],
-                       std::move(instance_serving));
+  serve::FleetSim fleet(network, engine, *scheduler, fleet_config, serving);
+  // Per-instance policy tables: one shared scheduler, prefixed group names
+  // ("i2.group5") so traces and metrics stay attributable — including the
+  // groups of replicas the autoscaler deploys mid-run.
+  fleet.set_deploy_hooks(
+      [hero](std::size_t id) {
+        if (hero != nullptr) hero->set_group_prefix(strfmt("i{}.", id));
+      },
+      [hero](std::size_t) {
+        if (hero != nullptr) hero->set_group_prefix("");
+      });
+  for (planner::PlanResult& plan : result.plan.instances) {
+    fleet.add_instance(plan);
   }
-  if (hero != nullptr) hero->set_group_prefix("");
+
+  std::unique_ptr<serve::FleetController> controller;
+  if (cfg.fleet.autoscale.enabled) {
+    controller = std::make_unique<serve::FleetController>(
+        fleet, planner_inputs_for(kind, cfg, trace));
+    controller->start();
+  }
 
   scheduler->start();
   result.report = fleet.run(trace);
+  if (controller) result.report.autoscale = controller->stats();
   result.sim_stats = collect_sim_stats(simulator, network);
   return result;
 }

@@ -74,15 +74,12 @@ struct ExperimentConfig {
   /// online scheduler; baselines only feel the raw faults.
   faults::FaultPlan fault_plan;
 
-  /// Multi-instance serving (run_fleet_experiment). instances == 1 keeps
-  /// the config usable with the single-instance run_experiment unchanged.
-  struct FleetOptions {
-    std::size_t instances = 1;
-    serve::RouterConfig router;  ///< dispatch policy + seed + cost weights
-    /// planner::FleetPlannerInputs::balance_stage_rates.
-    bool balance_stage_rates = true;
-  };
-  FleetOptions fleet;
+  /// Multi-instance serving (run_fleet_experiment): the consolidated
+  /// serve::FleetConfig — fleet shape, router policy + cost weights, and
+  /// the elastic-autoscaling knobs — lives here exactly once. instances ==
+  /// 1 keeps the config usable with the single-instance run_experiment
+  /// unchanged.
+  serve::FleetConfig fleet;
 
   /// Flow-network engine knobs (equivalence gates and validate runs).
   struct NetsimOptions {
@@ -136,9 +133,19 @@ struct FleetExperimentResult {
 /// cfg.topology, then FleetSim serves the trace behind the configured
 /// router — one shared simulator/flownet/engine/scheduler (per-instance
 /// policy-table prefixes on HeroServe) and the same fault wiring as
-/// run_experiment. ok() is false when not every instance fits.
+/// run_experiment. With cfg.fleet.autoscale.enabled a FleetController
+/// ticks alongside the run, scaling the instance count against the
+/// observed arrival rate (report.autoscale carries its stats). ok() is
+/// false when not every starting instance fits.
 [[nodiscard]] FleetExperimentResult run_fleet_experiment(
     SystemKind kind, const ExperimentConfig& cfg);
+
+/// Same pipeline over a caller-supplied trace (diurnal / flash-crowd
+/// generators) instead of wl::generate_trace(cfg.workload). The planner is
+/// still sized from cfg.workload.rate — the *expected* fleet rate — while
+/// the trace drives what actually arrives.
+[[nodiscard]] FleetExperimentResult run_fleet_experiment(
+    SystemKind kind, const ExperimentConfig& cfg, const wl::Trace& trace);
 
 struct RateSearchResult {
   double max_rate = 0.0;  ///< highest rate meeting the attainment target

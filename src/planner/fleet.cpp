@@ -1,10 +1,101 @@
 #include "planner/fleet.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/format.hpp"
 
 namespace hero::planner {
+
+namespace {
+
+/// Distinct hardware classes among GPUs still in the free pool
+/// (memory_free > 0), ascending by GpuModel enum value — the deterministic
+/// iteration order of the per-class planning loop.
+std::vector<topo::GpuModel> free_pool_classes(const topo::Graph& graph) {
+  std::vector<topo::GpuModel> classes;
+  for (topo::NodeId g : graph.gpus()) {
+    const topo::GpuInfo& gpu = graph.node(g).gpu;
+    if (gpu.memory_free <= 0.0) continue;
+    if (std::find(classes.begin(), classes.end(), gpu.model) ==
+        classes.end()) {
+      classes.push_back(gpu.model);
+    }
+  }
+  std::sort(classes.begin(), classes.end());
+  return classes;
+}
+
+/// Strict "plan a beats plan b" ordering for the per-class tournament.
+/// Equal scores keep the incumbent, so the earliest enum class wins ties.
+bool beats(const PlanResult& a, const PlanResult& b) {
+  if (!a.feasible) return false;
+  if (!b.feasible) return true;
+  if (a.throughput_h > b.throughput_h) return true;
+  if (b.throughput_h > a.throughput_h) return false;
+  return a.service_rate > b.service_rate;
+}
+
+}  // namespace
+
+PlanResult plan_replica(const PlannerInputs& inputs,
+                        bool uniform_hardware_pools) {
+  const std::vector<topo::GpuModel> classes =
+      free_pool_classes(*inputs.graph);
+  if (!uniform_hardware_pools || classes.size() <= 1) {
+    // Homogeneous pool (or masking disabled): plan directly, so existing
+    // single-class fleets stay byte-identical to the plain OfflinePlanner.
+    OfflinePlanner planner(inputs);
+    return planner.plan();
+  }
+
+  // Per-class tournament: mask every other class out of a scratch copy so
+  // the replica lands on uniform silicon, then keep the best plan.
+  PlanResult best;
+  best.infeasible_reason = "empty free pool";
+  for (topo::GpuModel cls : classes) {
+    topo::Graph masked = *inputs.graph;
+    for (topo::NodeId g : masked.gpus()) {
+      if (masked.node(g).gpu.model != cls) {
+        masked.node(g).gpu.memory_free = 0.0;
+      }
+    }
+    PlannerInputs class_inputs = inputs;
+    class_inputs.graph = &masked;
+    OfflinePlanner planner(class_inputs);
+    PlanResult result = planner.plan();
+    if (beats(result, best)) best = std::move(result);
+  }
+  if (best.feasible) return best;
+
+  // No single class can fit the replica — span classes rather than fail.
+  OfflinePlanner mixed(inputs);
+  PlanResult result = mixed.plan();
+  if (!result.feasible) {
+    result.infeasible_reason = strfmt("no uniform-hardware pool fits ({})",
+                                      result.infeasible_reason);
+  }
+  return result;
+}
+
+void claim_plan(topo::Graph& scratch, const PlanResult& plan) {
+  for (topo::NodeId g : plan.prefill.all_gpus()) {
+    scratch.node(g).gpu.memory_free = 0.0;
+  }
+  for (topo::NodeId g : plan.decode.all_gpus()) {
+    scratch.node(g).gpu.memory_free = 0.0;
+  }
+}
+
+void release_plan(topo::Graph& scratch, const topo::Graph& pristine,
+                  const PlanResult& plan) {
+  for (topo::NodeId g : plan.prefill.all_gpus()) {
+    scratch.node(g).gpu.memory_free = pristine.node(g).gpu.memory_free;
+  }
+  for (topo::NodeId g : plan.decode.all_gpus()) {
+    scratch.node(g).gpu.memory_free = pristine.node(g).gpu.memory_free;
+  }
+}
 
 FleetPlanner::FleetPlanner(FleetPlannerInputs inputs)
     : in_(std::move(inputs)) {
@@ -13,6 +104,11 @@ FleetPlanner::FleetPlanner(FleetPlannerInputs inputs)
   }
   if (in_.instances == 0) {
     throw std::invalid_argument("FleetPlanner: instances must be >= 1");
+  }
+  if (!(in_.fleet_arrival_rate > 0.0)) {
+    throw std::invalid_argument(
+        "FleetPlanner: fleet_arrival_rate must be > 0 (the fleet-wide "
+        "rate is explicit; base.arrival_rate is ignored)");
   }
 }
 
@@ -29,8 +125,10 @@ FleetPlan FleetPlanner::plan() {
   for (std::size_t i = 0; i < in_.instances; ++i) {
     PlannerInputs inputs = in_.base;
     inputs.graph = &scratch;
+    // The one and only fleet-to-instance rate division; the plan echoes
+    // its share back in planned_arrival_rate.
     inputs.arrival_rate =
-        in_.base.arrival_rate / static_cast<double>(in_.instances);
+        in_.fleet_arrival_rate / static_cast<double>(in_.instances);
     inputs.seed = in_.base.seed + i;
     if (in_.balance_stage_rates && i > 0) {
       // Steer spare GPUs toward the lagging stage: the stage whose
@@ -43,16 +141,14 @@ FleetPlan FleetPlanner::plan() {
       }
     }
 
-    OfflinePlanner planner(inputs);
-    PlanResult result = planner.plan();
+    PlanResult result = plan_replica(inputs, in_.uniform_hardware_pools);
     if (!result.feasible &&
         (inputs.max_prefill_gpus != 0 || inputs.max_decode_gpus != 0)) {
       // The balance cap can over-constrain a shrunken pool; the replica
       // itself matters more than the ratio, so retry unconstrained.
       inputs.max_prefill_gpus = 0;
       inputs.max_decode_gpus = 0;
-      OfflinePlanner retry(inputs);
-      result = retry.plan();
+      result = plan_replica(inputs, in_.uniform_hardware_pools);
     }
     if (!result.feasible) {
       fleet.infeasible_reason = strfmt(
@@ -62,12 +158,7 @@ FleetPlan FleetPlanner::plan() {
 
     last_pre_gpus = result.prefill.parallel.gpus();
     last_dec_gpus = result.decode.parallel.gpus();
-    for (topo::NodeId g : result.prefill.all_gpus()) {
-      scratch.node(g).gpu.memory_free = 0.0;
-    }
-    for (topo::NodeId g : result.decode.all_gpus()) {
-      scratch.node(g).gpu.memory_free = 0.0;
-    }
+    claim_plan(scratch, result);
     fleet.gpus_used += last_pre_gpus + last_dec_gpus;
     fleet.service_rate += result.service_rate;
     fleet.service_rate_prefill += result.service_rate_prefill;

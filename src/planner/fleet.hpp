@@ -5,14 +5,23 @@
 // Each round plans one instance against the GPUs no earlier instance
 // claimed (claimed GPUs have their free memory zeroed in a scratch copy of
 // the graph, which excludes them from every m_req eligibility test). The
-// per-instance arrival rate is the fleet rate divided by the instance
-// count, so each instance is sized for its fair share of the load.
+// fleet-wide arrival rate is an EXPLICIT input — the planner divides it by
+// the instance count exactly once and each PlanResult reports the
+// per-instance rate it was sized for (planned_arrival_rate), so callers
+// can't double-divide.
 //
-// Stage-rate balancing (Taming-the-Chaos style): instance plans expose
-// their prefill/decode service rates; when the fleet-aggregate rates
-// drift apart, the next instance's overprovisioned stage is capped at its
-// predecessor's GPU budget so spare GPUs flow to the lagging stage. The
-// loop is fully deterministic — same inputs, same fleet.
+// Heterogeneous pools (HexGen-2 / Taming-the-Chaos style): when the free
+// pool mixes GPU hardware classes (A100/V100/L40...), each replica is
+// planned per class on a masked view of the pool and the best
+// single-class plan wins — every replica gets the stage shape its silicon
+// supports instead of cloning one plan. A replica only spans classes when
+// no single class can fit it.
+//
+// Stage-rate balancing: instance plans expose their prefill/decode service
+// rates; when the fleet-aggregate rates drift apart, the next instance's
+// overprovisioned stage is capped at its predecessor's GPU budget so spare
+// GPUs flow to the lagging stage. The loop is fully deterministic — same
+// inputs, same fleet.
 #pragma once
 
 #include "planner/planner.hpp"
@@ -20,13 +29,21 @@
 namespace hero::planner {
 
 struct FleetPlannerInputs {
-  /// Template for every instance. `arrival_rate` is the FLEET-wide rate;
-  /// `graph` is the shared cluster (never mutated — planning works on a
-  /// scratch copy). Per-instance seeds derive from `base.seed + instance`.
+  /// Template for every instance. `base.arrival_rate` is ignored — the
+  /// fleet rate is explicit below. `graph` is the shared cluster (never
+  /// mutated — planning works on a scratch copy). Per-instance seeds
+  /// derive from `base.seed + instance`.
   PlannerInputs base;
   std::size_t instances = 1;
+  /// FLEET-wide arrival rate (req/s); required > 0. Each instance is
+  /// planned for fleet_arrival_rate / instances and reports that share in
+  /// PlanResult::planned_arrival_rate.
+  Rate fleet_arrival_rate = 0.0;
   /// Cap the overprovisioned stage of later instances (see file comment).
   bool balance_stage_rates = true;
+  /// Plan each replica per GPU hardware class and keep the best
+  /// single-class plan (see file comment); off = plan over the mixed pool.
+  bool uniform_hardware_pools = true;
 };
 
 struct FleetPlan {
@@ -50,5 +67,25 @@ class FleetPlanner {
  private:
   FleetPlannerInputs in_;
 };
+
+/// Plan ONE replica on `inputs.graph` (a scratch graph whose claimed GPUs
+/// have memory_free == 0). With `uniform_hardware_pools`, plans per
+/// hardware class on masked copies and returns the best single-class plan
+/// (by throughput H, then service rate; ties keep the earliest GpuModel
+/// enum value), falling back to the mixed pool when no class fits alone.
+/// Single-class pools skip the masking entirely, so homogeneous clusters
+/// plan byte-identically to OfflinePlanner. The autoscaler uses this
+/// directly to size scale-up replicas against its spare pool.
+[[nodiscard]] PlanResult plan_replica(const PlannerInputs& inputs,
+                                      bool uniform_hardware_pools);
+
+/// Mark a replica's GPUs as claimed on `scratch` (memory_free = 0), which
+/// fails every m_req eligibility test in later planning rounds.
+void claim_plan(topo::Graph& scratch, const PlanResult& plan);
+
+/// Return a replica's GPUs to the free pool: restore each claimed GPU's
+/// memory_free from the pristine (never-claimed) copy of the graph.
+void release_plan(topo::Graph& scratch, const topo::Graph& pristine,
+                  const PlanResult& plan);
 
 }  // namespace hero::planner

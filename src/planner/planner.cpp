@@ -432,6 +432,7 @@ Time OfflinePlanner::kv_transfer_latency(const ClusterPlan& prefill,
 PlanResult OfflinePlanner::plan() {
   PlanResult best;
   best.infeasible_reason = "no candidate evaluated";
+  best.planned_arrival_rate = in_.arrival_rate;
   const Bytes model_bytes = in_.model.param_bytes();
   Rng rng(in_.seed);
 

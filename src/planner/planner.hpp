@@ -125,6 +125,10 @@ struct PlanResult {
   /// The K_in the capacity model was calibrated for; converts a live token
   /// backlog into "equivalent requests" (the fleet router's queue term).
   std::size_t planned_k_in = 0;
+  /// The arrival rate (lambda, req/s) this plan was sized for. For fleet
+  /// plans this is the PER-INSTANCE rate the fleet planner derived from its
+  /// explicit fleet-wide rate — callers read it back instead of re-dividing.
+  Rate planned_arrival_rate = 0.0;
   QueueEstimate queue;
   Rate throughput_h = 0.0;  ///< H = 1 / T_req
 

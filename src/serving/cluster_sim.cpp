@@ -508,6 +508,17 @@ ServingReport ClusterSim::report(std::size_t expected) const {
   return report;
 }
 
+std::vector<RetiredSample> ClusterSim::retired_samples() const {
+  std::vector<RetiredSample> samples;
+  samples.reserve(retired_.size());
+  for (const auto& ar : retired_) {
+    if (ar->finish < 0) continue;
+    samples.push_back({ar->req.id, ar->req.arrival,
+                       ar->first_token - ar->req.arrival, ar->finish});
+  }
+  return samples;
+}
+
 ServingReport ClusterSim::run(const wl::Trace& trace) {
   sim::Simulator& sim = simulator();
   const std::uint64_t ops_before = engine_->ops_completed;

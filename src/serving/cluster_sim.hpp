@@ -79,6 +79,16 @@ struct LoadSnapshot {
   Bytes kv_budget = 0;
 };
 
+/// Per-request outcome of one retired (fully served) request, exported for
+/// fleet-level windowed analysis — e.g. p99 TTFT inside a flash-crowd
+/// burst, which aggregate percentiles over the whole run would wash out.
+struct RetiredSample {
+  std::uint64_t id = 0;
+  Time arrival = 0.0;
+  Time ttft = 0.0;
+  Time finish = 0.0;
+};
+
 struct ServingReport {
   std::size_t submitted = 0;
   std::size_t completed = 0;
@@ -134,6 +144,10 @@ class ClusterSim {
   /// serve). Engine/tracer counter deltas are left zero — they are shared
   /// fleet-wide and only the single-instance run() can attribute them.
   [[nodiscard]] ServingReport report(std::size_t expected) const;
+
+  /// Per-request (arrival, TTFT, finish) of every retired request, in
+  /// retirement order. FleetSim pools and sorts these fleet-wide.
+  [[nodiscard]] std::vector<RetiredSample> retired_samples() const;
 
   // --- load snapshot (router inputs) -----------------------------------
   /// One-call snapshot of this instance's live load. Router policies and

@@ -11,17 +11,44 @@
 namespace hero::serve {
 
 FleetSim::FleetSim(net::FlowNetwork& network, coll::CollectiveEngine& engine,
-                   RouterConfig router_config)
-    : network_(&network), engine_(&engine),
-      router_(network, router_config) {}
+                   coll::CommScheduler& scheduler, FleetConfig config,
+                   ServingOptions base_serving)
+    : network_(&network), engine_(&engine), scheduler_(&scheduler),
+      base_serving_(std::move(base_serving)),
+      router_(network, std::move(config)) {}
 
-ClusterSim& FleetSim::add_instance(coll::CommScheduler& scheduler,
-                                   planner::PlanResult plan,
-                                   ServingOptions options) {
+void FleetSim::set_deploy_hooks(std::function<void(std::size_t)> before,
+                                std::function<void(std::size_t)> after) {
+  deploy_before_ = std::move(before);
+  deploy_after_ = std::move(after);
+}
+
+ClusterSim& FleetSim::add_instance(planner::PlanResult plan) {
+  const std::size_t id = instances_.size();
+  if (deploy_before_) deploy_before_(id);
+  ServingOptions options = base_serving_;
+  // Decorrelate per-instance randomness without correlating adjacent
+  // instances (7919 = the 1000th prime; same derivation PR 4 used).
+  options.seed = base_serving_.seed + id * 7919;
+
+  InstanceLifetime life;
+  life.deployed = network_->simulator().now();
+  life.gpus = plan.prefill.all_gpus().size() + plan.decode.all_gpus().size();
+
   instances_.push_back(std::make_unique<ClusterSim>(
-      *network_, *engine_, scheduler, std::move(plan), std::move(options)));
+      *network_, *engine_, *scheduler_, std::move(plan),
+      std::move(options)));
+  lifetimes_.push_back(life);
   router_.add_instance(*instances_.back());
+  if (running_) instances_.back()->begin();
+  if (deploy_after_) deploy_after_(id);
   return *instances_.back();
+}
+
+void FleetSim::mark_released(std::size_t id) {
+  InstanceLifetime& life = lifetimes_.at(id);
+  HERO_REQUIRE(life.released < 0, "instance {} released twice", id);
+  life.released = network_->simulator().now();
 }
 
 std::size_t FleetSim::total_retired() const {
@@ -41,11 +68,9 @@ FleetReport FleetSim::run(const wl::Trace& trace) {
   const std::uint64_t tr_fb_before =
       tr ? tr->count("ina_fallback", obs::Phase::kInstant) : 0;
 
-  Time max_sim_time = 0.0;
-  for (auto& inst : instances_) {
-    inst->begin();
-    max_sim_time = std::max(max_sim_time, inst->options().max_sim_time);
-  }
+  running_ = true;
+  const Time max_sim_time = base_serving_.max_sim_time;
+  for (auto& inst : instances_) inst->begin();
 
   for (const wl::Request& r : trace) {
     sim.schedule(r.arrival, [this, r, tr] {
@@ -61,9 +86,12 @@ FleetReport FleetSim::run(const wl::Trace& trace) {
     });
   }
 
+  // Count-driven exit: autoscaler ticks keep the event queue non-empty
+  // forever, so the loop ends on the retired count, not queue exhaustion.
   while (total_retired() < trace.size() && sim.now() < max_sim_time) {
     if (!sim.step()) break;
   }
+  running_ = false;
   if (total_retired() < trace.size()) {
     log::warn("fleet run incomplete: t={} retired={}/{} instances={}",
               sim.now(), total_retired(), trace.size(), instances_.size());
@@ -72,6 +100,7 @@ FleetReport FleetSim::run(const wl::Trace& trace) {
 
   FleetReport fleet;
   fleet.dispatched = router_.dispatched();
+  fleet.lifetimes = lifetimes_;
   ServingReport& agg = fleet.aggregate;
   double within_sla = 0.0;
   Bytes kv_budget_total = 0.0;
@@ -94,8 +123,17 @@ FleetReport FleetSim::run(const wl::Trace& trace) {
     const LoadSnapshot load = inst->load();
     kv_avg_weighted += rep.kv_utilization_avg * load.kv_budget;
     kv_budget_total += load.kv_budget;
+    for (RetiredSample s : inst->retired_samples()) {
+      fleet.samples.push_back(s);
+    }
     fleet.per_instance.push_back(std::move(rep));
   }
+  std::sort(fleet.samples.begin(), fleet.samples.end(),
+            [](const RetiredSample& a, const RetiredSample& b) {
+              if (a.arrival < b.arrival) return true;
+              if (b.arrival < a.arrival) return false;
+              return a.id < b.id;
+            });
   agg.sla_attainment =
       trace.empty() ? 0.0 : within_sla / static_cast<double>(trace.size());
   agg.requests_per_second =
@@ -108,6 +146,18 @@ FleetReport FleetSim::run(const wl::Trace& trace) {
                         : 0.0;
   agg.kv_utilization_avg =
       kv_budget_total > 0 ? kv_avg_weighted / kv_budget_total : 0.0;
+
+  // GPU-hours: each instance holds its GPUs from deployment until its
+  // drain completed (released) or the run ended — a never-released replica
+  // is paid for through the whole run, which is exactly the static fleet's
+  // bill and what the elastic fleet undercuts.
+  const Time end_of_run = sim.now();
+  for (const InstanceLifetime& life : lifetimes_) {
+    const Time held =
+        (life.released < 0 ? end_of_run : life.released) - life.deployed;
+    fleet.gpu_hours +=
+        static_cast<double>(life.gpus) * std::max(0.0, raw(held)) / 3600.0;
+  }
 
   // Engine counters are shared across instances; only fleet-wide deltas
   // are attributable.

@@ -6,10 +6,15 @@
 //
 // FleetSim owns the dispatch loop: each trace arrival is routed at its
 // arrival instant against the fleet's *current* state, then submitted to
-// the chosen instance. Reports aggregate the per-instance distributions
-// (pooled percentiles, fleet goodput) next to each instance's own numbers.
+// the chosen instance. The fleet is elastic — instances can be deployed
+// mid-run (FleetController scale-up) and drained/released; FleetSim tracks
+// each instance's deploy/release lifetime so reports can integrate
+// GPU-hours, the autoscaling bench's cost metric. Reports aggregate the
+// per-instance distributions (pooled percentiles, fleet goodput) next to
+// each instance's own numbers.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -18,44 +23,90 @@
 
 namespace hero::serve {
 
+/// Deploy/release window of one instance (simulated seconds).
+struct InstanceLifetime {
+  Time deployed = 0.0;
+  Time released = -1.0;  ///< -1 = still live when the run ended
+  std::size_t gpus = 0;
+};
+
 struct FleetReport {
   ServingReport aggregate;  ///< pooled over all instances
   std::vector<ServingReport> per_instance;
   std::vector<std::uint64_t> dispatched;  ///< router decisions per instance
   /// max/mean - 1 over per-instance dispatch counts (0 = perfectly even).
   double dispatch_imbalance = 0.0;
+  /// Integral of (live GPUs) dt over the run, in GPU-hours — what an
+  /// elastic fleet saves by releasing drained replicas' GPUs.
+  double gpu_hours = 0.0;
+  std::vector<InstanceLifetime> lifetimes;
+  /// Every retired request fleet-wide, sorted by (arrival, id) — windowed
+  /// latency analysis (flash-crowd recovery) reads these.
+  std::vector<RetiredSample> samples;
+  /// Controller activity (all zero when autoscaling is off); filled in by
+  /// the caller that owns the FleetController.
+  AutoscaleStats autoscale;
 };
 
 class FleetSim {
  public:
+  /// All instances share `scheduler` (per-instance group tables) and derive
+  /// their ServingOptions from `base_serving` (per-instance seeds are
+  /// decorrelated internally) — the per-instance options duplication the
+  /// FleetConfig consolidation deleted.
   FleetSim(net::FlowNetwork& network, coll::CollectiveEngine& engine,
-           RouterConfig router_config);
+           coll::CommScheduler& scheduler, FleetConfig config,
+           ServingOptions base_serving);
 
   FleetSim(const FleetSim&) = delete;
   FleetSim& operator=(const FleetSim&) = delete;
 
-  /// Deploy one planned instance. The scheduler reference must outlive the
-  /// fleet; instances may share one scheduler (per-instance group tables)
-  /// or bring their own.
-  ClusterSim& add_instance(coll::CommScheduler& scheduler,
-                           planner::PlanResult plan, ServingOptions options);
+  /// Bracket every instance deployment: `before(id)` runs just ahead of the
+  /// ClusterSim construction (heroserve scopes hero-scheduler group names
+  /// per instance there), `after(id)` once the instance is registered.
+  /// Applies to mid-run scale-ups too.
+  void set_deploy_hooks(std::function<void(std::size_t)> before,
+                        std::function<void(std::size_t)> after);
+
+  /// Deploy one planned instance and add it to the dispatch set. Callable
+  /// mid-run: the instance joins at the current simulated time and its
+  /// lifetime starts there.
+  ClusterSim& add_instance(planner::PlanResult plan);
+
+  /// Record that `id`'s GPUs were returned to the spare pool (closes its
+  /// lifetime for the GPU-hours integral). The FleetController calls this
+  /// when a drained instance retires its last in-flight request.
+  void mark_released(std::size_t id);
 
   /// Route + serve the whole trace on the shared simulator.
   [[nodiscard]] FleetReport run(const wl::Trace& trace);
 
   [[nodiscard]] Router& router() { return router_; }
+  [[nodiscard]] const FleetConfig& config() const {
+    return router_.config();
+  }
+  [[nodiscard]] net::FlowNetwork& network() { return *network_; }
   [[nodiscard]] std::size_t instance_count() const {
     return instances_.size();
   }
   [[nodiscard]] ClusterSim& instance(std::size_t id) {
     return *instances_.at(id);
   }
+  [[nodiscard]] const std::vector<InstanceLifetime>& lifetimes() const {
+    return lifetimes_;
+  }
 
  private:
   net::FlowNetwork* network_;
   coll::CollectiveEngine* engine_;
+  coll::CommScheduler* scheduler_;
+  ServingOptions base_serving_;
   Router router_;
   std::vector<std::unique_ptr<ClusterSim>> instances_;
+  std::vector<InstanceLifetime> lifetimes_;
+  std::function<void(std::size_t)> deploy_before_;
+  std::function<void(std::size_t)> deploy_after_;
+  bool running_ = false;
 
   [[nodiscard]] std::size_t total_retired() const;
 };

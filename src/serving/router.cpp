@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "obs/metrics.hpp"
 #include "topology/paths.hpp"
 
@@ -31,8 +32,9 @@ std::optional<RouterPolicy> parse_router_policy(std::string_view name) {
   return std::nullopt;
 }
 
-Router::Router(net::FlowNetwork& network, RouterConfig config)
-    : network_(&network), config_(config), rng_(config.seed) {}
+Router::Router(net::FlowNetwork& network, FleetConfig config)
+    : network_(&network), config_(std::move(config)),
+      rng_(config_.router_seed) {}
 
 std::size_t Router::add_instance(ClusterSim& instance) {
   Instance inst;
@@ -53,6 +55,37 @@ std::size_t Router::add_instance(ClusterSim& instance) {
   instances_.push_back(std::move(inst));
   dispatched_.push_back(0);
   return instances_.size() - 1;
+}
+
+void Router::drain_instance(std::size_t id) {
+  Instance& inst = instances_.at(id);
+  HERO_REQUIRE(inst.state != State::kRemoved,
+               "drain_instance: instance {} already removed", id);
+  inst.state = State::kDraining;
+}
+
+void Router::remove_instance(std::size_t id) {
+  Instance& inst = instances_.at(id);
+  HERO_REQUIRE(inst.state == State::kDraining,
+               "remove_instance: instance {} not draining", id);
+  inst.state = State::kRemoved;
+}
+
+std::size_t Router::active_count() const {
+  std::size_t n = 0;
+  for (const Instance& inst : instances_) {
+    if (inst.state == State::kActive) ++n;
+  }
+  return n;
+}
+
+std::vector<std::size_t> Router::active_ids() const {
+  std::vector<std::size_t> ids;
+  ids.reserve(instances_.size());
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].state == State::kActive) ids.push_back(i);
+  }
+  return ids;
 }
 
 double Router::cost_for(const Instance& inst,
@@ -137,23 +170,28 @@ double Router::cost(std::size_t id, const wl::Request& request) const {
 }
 
 std::size_t Router::route(const wl::Request& request) {
-  if (instances_.empty()) {
-    throw std::logic_error("Router::route: no instances registered");
+  const std::vector<std::size_t> active = active_ids();
+  if (active.empty()) {
+    throw std::logic_error("Router::route: no active instances");
   }
-  std::size_t pick = 0;
+  std::size_t pick = active.front();
   switch (config_.policy) {
     case RouterPolicy::kRoundRobin:
-      pick = next_rr_ % instances_.size();
+      // Rotate over the *current* dispatch set; the rotation counter keeps
+      // advancing across membership changes, so dispatch stays even and
+      // deterministic as instances come and go.
+      pick = active[next_rr_ % active.size()];
       ++next_rr_;
       break;
     case RouterPolicy::kRandom:
-      pick = static_cast<std::size_t>(rng_.uniform_int(instances_.size()));
+      pick = active[static_cast<std::size_t>(
+          rng_.uniform_int(active.size()))];
       break;
     case RouterPolicy::kShortestQueue: {
       // In-flight requests; ties break toward the lowest instance id
       // (strict <), so dispatch is reproducible and order-independent.
       std::size_t best = std::numeric_limits<std::size_t>::max();
-      for (std::size_t i = 0; i < instances_.size(); ++i) {
+      for (std::size_t i : active) {
         const std::size_t in_flight = instances_[i].sim->load().in_flight;
         if (in_flight < best) {
           best = in_flight;
@@ -164,7 +202,7 @@ std::size_t Router::route(const wl::Request& request) {
     }
     case RouterPolicy::kHeroServe: {
       double best = std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < instances_.size(); ++i) {
+      for (std::size_t i : active) {
         const double c = cost_for(instances_[i], request);
         if (c < best) {  // strict: identical costs keep the lowest id
           best = c;
@@ -175,6 +213,7 @@ std::size_t Router::route(const wl::Request& request) {
     }
   }
   ++dispatched_[pick];
+  ++dispatched_total_;
   if (obs::MetricsRegistry* m = network_->simulator().metrics()) {
     m->counter("router.dispatched").add(1);
   }

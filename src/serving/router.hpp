@@ -13,64 +13,60 @@
 //     decode-aware selection). Cross-rack instances whose prefill->decode
 //     KV pairs ride congested oversubscribed uplinks price themselves out.
 //
+// The dispatch set is elastic: instances can be added mid-run (autoscaler
+// scale-up) and taken out in two steps — drain_instance() stops dispatch
+// while in-flight requests finish, remove_instance() retires the drained
+// slot for good. Instance ids are stable for the whole run (dead slots are
+// never reused), so per-instance counters and reports stay attributable.
+//
 // Everything is deterministic under a fixed seed: ties are broken by the
 // lowest instance id, and the only randomness is the router's own Rng.
 #pragma once
 
 #include <cstdint>
-#include <optional>
-#include <string>
-#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "netsim/flownet.hpp"
 #include "serving/cluster_sim.hpp"
+#include "serving/fleet_config.hpp"
 #include "workload/trace.hpp"
 
 namespace hero::serve {
 
-enum class RouterPolicy : std::uint8_t {
-  kRoundRobin,
-  kRandom,
-  kShortestQueue,
-  kHeroServe,
-};
-
-[[nodiscard]] const char* to_string(RouterPolicy policy);
-/// Parse "rr" / "random" / "jsq" / "hero" (long names accepted too).
-[[nodiscard]] std::optional<RouterPolicy> parse_router_policy(
-    std::string_view name);
-
-struct RouterConfig {
-  RouterPolicy policy = RouterPolicy::kRoundRobin;
-  std::uint64_t seed = 1;
-  /// Weights of the two HeroServe cost terms (queue delay, KV transfer).
-  double queue_weight = 1.0;
-  double kv_weight = 1.0;
-  /// Marginal TPOT interference charged per occupied decode lane, as a
-  /// fraction of a full 1/mu_dec serialization step (decode lanes run
-  /// concurrently; a new batch member only stretches the shared step).
-  double decode_interference = 0.1;
-  /// Fraction of the request's predicted decode residence (output tokens x
-  /// the instance's planned TPOT) charged to the cost. Tilts long-output
-  /// requests toward fast-decode plans when queue signals are flat — the
-  /// drain-tail regime — without overriding backlog under load.
-  double completion_weight = 0.01;
-};
-
 class Router {
  public:
-  Router(net::FlowNetwork& network, RouterConfig config);
+  /// The router reads the FleetConfig's dispatch fields (policy,
+  /// router_seed, cost weights); the fleet-shape and autoscale fields
+  /// belong to FleetSim / FleetController.
+  Router(net::FlowNetwork& network, FleetConfig config);
 
-  /// Register an instance; returns its id (assignment order). The KV term
-  /// uses the instance's static prefill->decode pairing paths (same i ->
-  /// i * |dec| / |pre| mapping the serving simulator streams over), probed
-  /// against the network's live link state via estimate_path() at dispatch
-  /// time.
+  /// Register an instance; returns its id (assignment order). Callable
+  /// mid-run — a scaled-up replica joins the dispatch set at the instant
+  /// it is added. The KV term uses the instance's static prefill->decode
+  /// pairing paths (same i -> i * |dec| / |pre| mapping the serving
+  /// simulator streams over), probed against the network's live link state
+  /// via estimate_path() at dispatch time.
   std::size_t add_instance(ClusterSim& instance);
 
-  /// Pick the instance for `request` (does not submit it).
+  /// Stop dispatching to `id` (in-flight requests keep running). No-op on
+  /// an already-draining instance; must not be called on a removed one.
+  void drain_instance(std::size_t id);
+  /// Retire a drained instance for good. The id stays allocated (counters
+  /// keep their slot) but the instance never re-enters the dispatch set.
+  void remove_instance(std::size_t id);
+
+  [[nodiscard]] bool is_active(std::size_t id) const {
+    return instances_.at(id).state == State::kActive;
+  }
+  [[nodiscard]] bool is_draining(std::size_t id) const {
+    return instances_.at(id).state == State::kDraining;
+  }
+  /// Instances currently eligible for dispatch.
+  [[nodiscard]] std::size_t active_count() const;
+
+  /// Pick the instance for `request` (does not submit it). Only active
+  /// instances are considered; throws when the dispatch set is empty.
   [[nodiscard]] std::size_t route(const wl::Request& request);
 
   /// HeroServe dispatch cost of `request` on instance `id` right now;
@@ -80,28 +76,39 @@ class Router {
   [[nodiscard]] std::size_t instance_count() const {
     return instances_.size();
   }
-  [[nodiscard]] const RouterConfig& config() const { return config_; }
-  /// Requests dispatched per instance so far.
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+  /// Requests dispatched per instance so far (dead slots keep their tally).
   [[nodiscard]] const std::vector<std::uint64_t>& dispatched() const {
     return dispatched_;
   }
+  /// Total requests dispatched across all instances — the autoscaler's
+  /// arrival-rate observable.
+  [[nodiscard]] std::uint64_t dispatched_total() const {
+    return dispatched_total_;
+  }
 
  private:
+  enum class State : std::uint8_t { kActive, kDraining, kRemoved };
+
   struct Instance {
     ClusterSim* sim = nullptr;
     /// Static shortest paths of the KV pairing (one per prefill GPU).
     std::vector<topo::Path> kv_paths;
+    State state = State::kActive;
   };
 
   net::FlowNetwork* network_;
-  RouterConfig config_;
+  FleetConfig config_;
   Rng rng_;
   std::vector<Instance> instances_;
   std::vector<std::uint64_t> dispatched_;
+  std::uint64_t dispatched_total_ = 0;
   std::size_t next_rr_ = 0;
 
   [[nodiscard]] double cost_for(const Instance& inst,
                                 const wl::Request& request) const;
+  /// Ids of active instances, ascending (the dispatch set of one route()).
+  [[nodiscard]] std::vector<std::size_t> active_ids() const;
 };
 
 }  // namespace hero::serve

@@ -200,13 +200,23 @@ Graph make_fleet_cluster(const FleetClusterOptions& opts) {
       g.add_edge(tor, core, LinkKind::kEthernet, uplink_bw,
                  opts.links.ethernet_latency);
     }
+    // Heterogeneous fleets rack whole hardware classes: rack r's servers
+    // all carry rack_hardware[r % size] (uniform model/memory when unset).
+    GpuModel rack_model = opts.gpu_model;
+    Bytes rack_memory = opts.gpu_memory;
+    if (!opts.rack_hardware.empty()) {
+      const auto& hw = opts.rack_hardware[static_cast<std::size_t>(r) %
+                                          opts.rack_hardware.size()];
+      rack_model = hw.model;
+      rack_memory = hw.memory;
+    }
     for (std::int32_t s = 0; s < opts.servers_per_rack; ++s) {
       std::vector<NodeId> gpus;
       gpus.reserve(opts.gpus_per_server);
       for (std::int32_t i = 0; i < opts.gpus_per_server; ++i) {
         const NodeId gpu =
-            g.add_gpu(strfmt("s{}g{}", server_id, i), opts.gpu_model,
-                      opts.gpu_memory, server_id);
+            g.add_gpu(strfmt("s{}g{}", server_id, i), rack_model,
+                      rack_memory, server_id);
         gpus.push_back(gpu);
         g.add_edge(gpu, tor, LinkKind::kEthernet, opts.links.ethernet,
                    opts.links.ethernet_latency);

@@ -88,6 +88,14 @@ struct FleetClusterOptions {
   double oversubscription = 4.0;
   GpuModel gpu_model = GpuModel::kA100_80;
   Bytes gpu_memory = 80.0 * units::GB;
+  /// Heterogeneous pools: when non-empty, rack r gets rack_hardware[r %
+  /// size] instead of the uniform gpu_model/gpu_memory above — whole racks
+  /// of one hardware class, the way mixed fleets are actually racked.
+  struct RackHardware {
+    GpuModel model = GpuModel::kA100_80;
+    Bytes memory = 80.0 * units::GB;
+  };
+  std::vector<RackHardware> rack_hardware;
 };
 
 /// Rack-scale fleet fabric for multi-instance serving: R racks of S

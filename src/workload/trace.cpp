@@ -132,6 +132,44 @@ Trace generate_diurnal_trace(const DiurnalOptions& opts) {
   return trace;
 }
 
+Trace generate_flash_crowd_trace(const FlashCrowdOptions& opts) {
+  if (opts.base.rate <= 0.0 || opts.burst_duration <= 0.0) {
+    throw std::invalid_argument(
+        "generate_flash_crowd_trace: rate/burst_duration");
+  }
+  if (opts.burst_multiplier < 1.0) {
+    throw std::invalid_argument(
+        "generate_flash_crowd_trace: burst_multiplier >= 1");
+  }
+  Rng rng(opts.base.seed);
+  const Time burst_end = opts.burst_start + opts.burst_duration;
+  const Rate peak = opts.base.rate * opts.burst_multiplier;
+
+  Trace trace;
+  trace.reserve(opts.base.count);
+  Time now = 0.0;
+  while (trace.size() < opts.base.count) {
+    // Thinning against the burst rate: exact for the piecewise-constant
+    // step without special-casing the boundary crossings.
+    now += rng.exponential(raw(peak));
+    const bool in_burst = now >= opts.burst_start && now < burst_end;
+    if (!in_burst && !rng.bernoulli(1.0 / opts.burst_multiplier)) continue;
+    Request r;
+    r.id = trace.size();
+    r.arrival = now;
+    r.input_tokens = sample_length(rng, opts.base.lengths.input_mu,
+                                   opts.base.lengths.input_sigma,
+                                   opts.base.lengths.input_min,
+                                   opts.base.lengths.input_max);
+    r.output_tokens = sample_length(rng, opts.base.lengths.output_mu,
+                                    opts.base.lengths.output_sigma,
+                                    opts.base.lengths.output_min,
+                                    opts.base.lengths.output_max);
+    trace.push_back(r);
+  }
+  return trace;
+}
+
 WorkloadEstimator::WorkloadEstimator(std::size_t window)
     : input_len_(window), input_len_sq_(window), output_len_(window) {}
 

@@ -78,6 +78,21 @@ struct DiurnalOptions {
 
 [[nodiscard]] Trace generate_diurnal_trace(const DiurnalOptions& opts);
 
+/// Flash crowd: a step burst on top of steady background traffic. The rate
+/// runs at `base.rate` until `burst_start`, jumps to `burst_multiplier` x
+/// the base rate for `burst_duration` seconds, then falls back — the
+/// viral-moment trace an autoscaler must absorb (and recover p99 TTFT
+/// from) within the window. Piecewise-homogeneous Poisson, seeded through
+/// hero::Rng like every other generator.
+struct FlashCrowdOptions {
+  TraceOptions base;
+  Time burst_start = 60.0;
+  Time burst_duration = 60.0;
+  double burst_multiplier = 4.0;
+};
+
+[[nodiscard]] Trace generate_flash_crowd_trace(const FlashCrowdOptions& opts);
+
 /// Moving-average workload estimator (paper SIII-B: "we utilize state
 /// information collected by the online scheduler module and apply a moving
 /// average method to dynamically update K_in and K_out"). Feeds the

@@ -238,7 +238,7 @@ TEST(EngineEquivalenceFleet, FleetRunBitwiseIdentical) {
   ExperimentConfig cfg = experiment_config(11);
   cfg.topology = topo::make_fleet_cluster();
   cfg.fleet.instances = 2;
-  cfg.fleet.router.policy = serve::RouterPolicy::kHeroServe;
+  cfg.fleet.policy = serve::RouterPolicy::kHeroServe;
 
   cfg.netsim.full_solve = false;
   const FleetExperimentResult inc =

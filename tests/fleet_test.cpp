@@ -38,6 +38,7 @@ TEST(FleetPlanner, PacksDisjointInstances) {
   planner::FleetPlannerInputs in;
   in.base = base_inputs(graph, llm::opt_66b());
   in.instances = 4;
+  in.fleet_arrival_rate = 2.0;
   planner::FleetPlanner fleet(in);
   const planner::FleetPlan plan = fleet.plan();
   ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
@@ -69,6 +70,7 @@ TEST(FleetPlanner, ReportsWhichInstanceFailed) {
   planner::FleetPlannerInputs in;
   in.base = base_inputs(graph, llm::opt_66b());
   in.instances = 64;
+  in.fleet_arrival_rate = 2.0;
   planner::FleetPlanner fleet(in);
   const planner::FleetPlan plan = fleet.plan();
   EXPECT_FALSE(plan.feasible);
@@ -81,6 +83,7 @@ TEST(FleetPlanner, DeterministicForSeed) {
   planner::FleetPlannerInputs in;
   in.base = base_inputs(graph, llm::opt_66b());
   in.instances = 3;
+  in.fleet_arrival_rate = 2.0;
   const planner::FleetPlan a = planner::FleetPlanner(in).plan();
   const planner::FleetPlan b = planner::FleetPlanner(in).plan();
   ASSERT_TRUE(a.feasible);
@@ -118,6 +121,7 @@ class RouterTieBreak : public ::testing::Test {
     planner::FleetPlannerInputs in;
     in.base = base_inputs(graph_, llm::opt_66b());
     in.instances = 2;
+    in.fleet_arrival_rate = 2.0;
     planner::FleetPlan plan = planner::FleetPlanner(in).plan();
     ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
     plan_ = std::move(plan);
@@ -134,14 +138,15 @@ class RouterTieBreak : public ::testing::Test {
   std::unique_ptr<serve::FleetSim> make_fleet(
       serve::RouterPolicy policy,
       std::optional<double> completion_weight = std::nullopt) {
-    serve::RouterConfig rc;
-    rc.policy = policy;
-    if (completion_weight) rc.completion_weight = *completion_weight;
-    auto fleet = std::make_unique<serve::FleetSim>(*network_, *engine_, rc);
+    serve::FleetConfig fc;
+    fc.policy = policy;
+    if (completion_weight) fc.completion_weight = *completion_weight;
+    serve::ServingOptions opts;
+    opts.model = llm::opt_66b();
+    auto fleet = std::make_unique<serve::FleetSim>(*network_, *engine_,
+                                                   *scheduler_, fc, opts);
     for (const planner::PlanResult& p : plan_.instances) {
-      serve::ServingOptions opts;
-      opts.model = llm::opt_66b();
-      fleet->add_instance(*scheduler_, p, opts);
+      fleet->add_instance(p);
     }
     return fleet;
   }
@@ -219,7 +224,7 @@ ExperimentConfig fleet_config(std::size_t instances,
   cfg.serving.sla_ttft = 2.5;
   cfg.serving.sla_tpot = 0.15;
   cfg.fleet.instances = instances;
-  cfg.fleet.router.policy = policy;
+  cfg.fleet.policy = policy;
   return cfg;
 }
 

@@ -2,6 +2,8 @@
 // length distributions) and the moving-average workload estimator.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "workload/trace.hpp"
 
 namespace hero::wl {
@@ -99,6 +101,101 @@ TEST(Trace, BurstyHasHigherVariance) {
   opts.burst_multiplier = 5.0;
   const double bursty_var = gap_var(generate_trace(opts));
   EXPECT_GT(bursty_var, 1.5 * poisson_var);
+}
+
+// --- diurnal + flash-crowd generators (autoscaling traces) ---
+
+TEST(Diurnal, DeterministicForSeed) {
+  DiurnalOptions opts;
+  opts.base.rate = 4.0;
+  opts.base.count = 200;
+  opts.base.seed = 21;
+  opts.period = 120.0;
+  opts.amplitude = 0.6;
+  const Trace a = generate_diurnal_trace(opts);
+  const Trace b = generate_diurnal_trace(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(raw(a[i].arrival), raw(b[i].arrival));
+    EXPECT_EQ(a[i].input_tokens, b[i].input_tokens);
+    EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+  }
+  opts.base.seed = 22;
+  const Trace c = generate_diurnal_trace(opts);
+  ASSERT_EQ(c.size(), a.size());
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = raw(a[i].arrival) < raw(c[i].arrival) ||
+              raw(c[i].arrival) < raw(a[i].arrival);
+  }
+  EXPECT_TRUE(differs) << "different seeds produced identical arrivals";
+}
+
+TEST(Diurnal, ModulatesRateAroundTheMean) {
+  // Peak half-period carries more arrivals than the trough half-period.
+  DiurnalOptions opts;
+  opts.base.rate = 10.0;
+  opts.base.count = 4000;
+  opts.period = 200.0;
+  opts.amplitude = 0.8;
+  const Trace t = generate_diurnal_trace(opts);
+  std::size_t peak_half = 0, trough_half = 0;
+  for (const Request& r : t) {
+    const double phase =
+        raw(r.arrival) / raw(opts.period) -
+        std::floor(raw(r.arrival) / raw(opts.period));
+    (phase < 0.5 ? peak_half : trough_half) += 1;
+  }
+  EXPECT_GT(peak_half, trough_half + trough_half / 2);
+}
+
+TEST(FlashCrowd, DeterministicForSeed) {
+  FlashCrowdOptions opts;
+  opts.base.rate = 3.0;
+  opts.base.count = 300;
+  opts.base.seed = 33;
+  opts.burst_start = 20.0;
+  opts.burst_duration = 30.0;
+  opts.burst_multiplier = 5.0;
+  const Trace a = generate_flash_crowd_trace(opts);
+  const Trace b = generate_flash_crowd_trace(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(raw(a[i].arrival), raw(b[i].arrival));
+    EXPECT_EQ(a[i].input_tokens, b[i].input_tokens);
+    EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+  }
+}
+
+TEST(FlashCrowd, BurstWindowRunsAtMultipliedRate) {
+  FlashCrowdOptions opts;
+  opts.base.rate = 5.0;
+  opts.base.count = 4000;
+  opts.burst_start = 100.0;
+  opts.burst_duration = 100.0;
+  opts.burst_multiplier = 4.0;
+  const Trace t = generate_flash_crowd_trace(opts);
+  std::size_t in_burst = 0, before = 0;
+  for (const Request& r : t) {
+    if (r.arrival >= opts.burst_start &&
+        r.arrival < opts.burst_start + opts.burst_duration) {
+      ++in_burst;
+    } else if (r.arrival < opts.burst_start) {
+      ++before;
+    }
+  }
+  // Equal-length windows: the burst should carry ~4x the arrivals.
+  EXPECT_GT(in_burst, 3 * before);
+  EXPECT_GT(before, 0u);
+}
+
+TEST(FlashCrowd, RejectsBadOptions) {
+  FlashCrowdOptions opts;
+  opts.burst_multiplier = 0.5;
+  EXPECT_THROW(generate_flash_crowd_trace(opts), std::invalid_argument);
+  opts.burst_multiplier = 2.0;
+  opts.burst_duration = 0.0;
+  EXPECT_THROW(generate_flash_crowd_trace(opts), std::invalid_argument);
 }
 
 TEST(Summarize, EmptyTrace) {

@@ -166,6 +166,36 @@ else
   echo "determinism_check: simspeed phase skipped ($BENCH_SIMSPEED not built)"
 fi
 
+# Autoscale phase (when the bench is built): the elastic-fleet controller
+# runs on simulator timers and router counters only, so two bench runs —
+# scale-ups, drains, GPU releases and all — must write byte-identical
+# BENCH_autoscale.json files.
+BENCH_AUTOSCALE="$(cd "$BUILD_DIR" && pwd)/bench/bench_autoscale"
+if [ -x "$BENCH_AUTOSCALE" ]; then
+  for run in 1 2; do
+    mkdir -p "$WORK/autoscale-$run"
+    ( cd "$WORK/autoscale-$run" &&
+      "$BENCH_AUTOSCALE" --quick > stdout.txt 2>&1 )
+  done
+  if ! cmp -s "$WORK/autoscale-1/BENCH_autoscale.json" \
+              "$WORK/autoscale-2/BENCH_autoscale.json"; then
+    echo "determinism_check: FAIL autoscale JSON differs between reruns" >&2
+    diff "$WORK/autoscale-1/BENCH_autoscale.json" \
+         "$WORK/autoscale-2/BENCH_autoscale.json" | head -10 >&2 || true
+    FAIL=1
+  fi
+  if ! grep -q "autoscale verdict: elastic PASSES" \
+       "$WORK/autoscale-1/stdout.txt"; then
+    echo "determinism_check: FAIL autoscale verdict not PASSES" >&2
+    FAIL=1
+  fi
+  if [ "$FAIL" -eq 0 ]; then
+    echo "determinism_check: autoscale OK (rerun byte-identical, verdict PASSES)"
+  fi
+else
+  echo "determinism_check: autoscale phase skipped ($BENCH_AUTOSCALE not built)"
+fi
+
 # Strong-units phase (when the dimension-checked build exists): the
 # HERO_STRONG_UNITS build swaps the Time/Bytes/... aliases for Quantity<>
 # wrappers, which must perform the identical double operations in the
