@@ -1,0 +1,76 @@
+#include "kvtier/directory.hpp"
+
+#include "common/check.hpp"
+
+namespace hero::kv {
+
+void PrefixDirectory::update(std::uint64_t stream, std::size_t instance,
+                             std::size_t tokens) {
+  auto& holders = holdings_[stream];
+  const auto it = holders.find(instance);
+  if (tokens == 0) {
+    if (it != holders.end()) {
+      holders.erase(it);
+      HERO_INVARIANT(entries_ > 0 && per_instance_[instance] > 0,
+                     "directory entry accounting underflow");
+      --entries_;
+      --per_instance_[instance];
+    }
+    if (holders.empty()) holdings_.erase(stream);
+    return;
+  }
+  if (it == holders.end()) {
+    holders.emplace(instance, tokens);
+    ++entries_;
+    ++per_instance_[instance];
+  } else {
+    it->second = tokens;
+  }
+}
+
+std::size_t PrefixDirectory::tokens_at(std::uint64_t stream,
+                                       std::size_t instance) const {
+  const auto s = holdings_.find(stream);
+  if (s == holdings_.end()) return 0;
+  const auto it = s->second.find(instance);
+  return it == s->second.end() ? 0 : it->second;
+}
+
+std::optional<PrefixDirectory::Holding> PrefixDirectory::best(
+    std::uint64_t stream) const {
+  const auto s = holdings_.find(stream);
+  if (s == holdings_.end() || s->second.empty()) return std::nullopt;
+  Holding best_holding;
+  // Ascending instance order + strict > keeps ties on the lowest id.
+  for (const auto& [instance, tokens] : s->second) {
+    if (tokens > best_holding.tokens) {
+      best_holding.instance = instance;
+      best_holding.tokens = tokens;
+    }
+  }
+  return best_holding;
+}
+
+const std::map<std::size_t, std::size_t>* PrefixDirectory::holders(
+    std::uint64_t stream) const {
+  const auto s = holdings_.find(stream);
+  return s == holdings_.end() ? nullptr : &s->second;
+}
+
+std::size_t PrefixDirectory::purge_instance(std::size_t instance) {
+  std::size_t removed = 0;
+  for (auto s = holdings_.begin(); s != holdings_.end();) {
+    removed += s->second.erase(instance);
+    if (s->second.empty()) {
+      s = holdings_.erase(s);
+    } else {
+      ++s;
+    }
+  }
+  HERO_INVARIANT(entries_ >= removed, "directory purge underflow");
+  entries_ -= removed;
+  per_instance_.erase(instance);
+  return removed;
+}
+
+}  // namespace hero::kv

@@ -1,0 +1,67 @@
+// Fleet-level prefix directory — the shared index of the hierarchical KV
+// tier. Maps a prefix hash (the serving layer uses the session id) to the
+// instances holding its KV blocks and how many tokens each one covers, so
+// the router can send a request to a replica that already has its prefix
+// resident, or pick the best source to stream blocks from.
+//
+// The directory is a pure mirror: per-instance PrefixCaches publish their
+// coverage changes through the owner's hook and the fleet forwards them
+// here. Consistency rule (enforced by serve::FleetSim::mark_released): a
+// drained instance's entries are purged from the directory before its GPUs
+// return to the spare pool, so the router can never route toward memory
+// that is being handed back.
+//
+// All state is std::map; lookups break ties toward the lowest instance id,
+// so identical fleets produce identical routing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace hero::kv {
+
+class PrefixDirectory {
+ public:
+  struct Holding {
+    std::size_t instance = 0;
+    std::size_t tokens = 0;
+  };
+
+  /// Record that `instance` covers `tokens` of `stream`'s prefix
+  /// (contiguous from token zero). 0 tokens removes the entry.
+  void update(std::uint64_t stream, std::size_t instance, std::size_t tokens);
+
+  /// Tokens of `stream` held by `instance` (0 = none).
+  [[nodiscard]] std::size_t tokens_at(std::uint64_t stream,
+                                      std::size_t instance) const;
+
+  /// Best holder of `stream`: the longest coverage, ties toward the lowest
+  /// instance id. nullopt when nobody holds it.
+  [[nodiscard]] std::optional<Holding> best(std::uint64_t stream) const;
+
+  /// All holders of `stream` (instance -> tokens), or nullptr.
+  [[nodiscard]] const std::map<std::size_t, std::size_t>* holders(
+      std::uint64_t stream) const;
+
+  /// Drop every entry of `instance` (drain teardown); returns the number
+  /// of stream entries removed.
+  std::size_t purge_instance(std::size_t instance);
+
+  [[nodiscard]] bool instance_has_entries(std::size_t instance) const {
+    const auto it = per_instance_.find(instance);
+    return it != per_instance_.end() && it->second > 0;
+  }
+  /// Total (stream, instance) entries — the index size.
+  [[nodiscard]] std::size_t entry_count() const { return entries_; }
+  [[nodiscard]] std::size_t stream_count() const { return holdings_.size(); }
+
+ private:
+  /// stream -> (instance -> covered tokens)
+  std::map<std::uint64_t, std::map<std::size_t, std::size_t>> holdings_;
+  /// instance -> number of stream entries (drain-consistency bookkeeping)
+  std::map<std::size_t, std::size_t> per_instance_;
+  std::size_t entries_ = 0;
+};
+
+}  // namespace hero::kv

@@ -26,6 +26,10 @@ struct ClusterSim::ActiveRequest {
   Time finish = -1.0;
   std::size_t generated = 0;  ///< decode tokens produced (excl. first)
   Bytes kv_reserved = 0.0;
+  /// Prefix tokens served from the KV cache (pinned arrival->retirement);
+  /// they skip prefill compute, the prefill->decode KV transfer, and the
+  /// decode-side reservation.
+  std::size_t reuse_tokens = 0;
 };
 
 struct ClusterSim::PrefillBatch {
@@ -77,6 +81,13 @@ ClusterSim::ClusterSim(net::FlowNetwork& network,
         Bytes{0.0},
         network_->graph().node(g).gpu.memory_free - weights_per_gpu);
   }
+
+  if (opts_.prefix_block_tokens > 0) {
+    kv::PrefixCacheOptions pc;
+    pc.block_tokens = opts_.prefix_block_tokens;
+    pc.bytes_per_token = opts_.model.kv_bytes_per_token();
+    prefix_cache_ = std::make_unique<kv::PrefixCache>(pc);
+  }
 }
 
 ClusterSim::~ClusterSim() = default;
@@ -120,18 +131,81 @@ double ClusterSim::stage_scale(const Stage& stage) const {
   return scale;
 }
 
-Bytes ClusterSim::kv_bytes_per_request(std::size_t total_tokens) const {
-  return opts_.model.kv_bytes_per_token() *
-         static_cast<double>(total_tokens);
+KvSnapshot ClusterSim::kv() const {
+  KvSnapshot snap;
+  snap.used = kv_used_;
+  snap.cached = prefix_cache_ ? prefix_cache_->bytes_used() : Bytes{0.0};
+  snap.budget = kv_budget_;
+  snap.bytes_per_token = opts_.model.kv_bytes_per_token();
+  return snap;
+}
+
+std::size_t ClusterSim::effective_tokens(const ActiveRequest& ar) {
+  return ar.req.input_tokens - ar.reuse_tokens;
+}
+
+void ClusterSim::set_prefix_change_hook(
+    std::function<void(std::uint64_t, std::size_t)> hook) {
+  prefix_hook_ = std::move(hook);
+}
+
+std::size_t ClusterSim::cached_prefix_tokens(std::uint64_t session) const {
+  return prefix_cache_ ? prefix_cache_->cached_tokens(session) : 0;
+}
+
+void ClusterSim::pin_prefix(std::uint64_t session, std::size_t tokens) {
+  HERO_REQUIRE(prefix_cache_ != nullptr,
+               "pin_prefix on an instance without a prefix tier");
+  prefix_cache_->touch(session);
+  prefix_cache_->pin(session, tokens);
+}
+
+void ClusterSim::unpin_prefix(std::uint64_t session, std::size_t tokens) {
+  HERO_REQUIRE(prefix_cache_ != nullptr,
+               "unpin_prefix on an instance without a prefix tier");
+  prefix_cache_->unpin(session, tokens);
+}
+
+void ClusterSim::adopt_prefix(std::uint64_t session, std::size_t tokens) {
+  if (!prefix_cache_) return;
+  std::vector<kv::CoverageChange> changes;
+  const std::size_t covered =
+      prefix_cache_->publish(session, tokens, kv_budget_ - kv_used_,
+                             &changes);
+  notify_prefix(changes);
+  if (prefix_hook_) prefix_hook_(session, covered);
+  record_kv(simulator().now());
+}
+
+void ClusterSim::retire_prefix_cache() {
+  if (!prefix_cache_) return;
+  prefix_hook_ = nullptr;  // the fleet purges the directory wholesale
+  prefix_cache_->retire();
+  record_kv(simulator().now());
+}
+
+void ClusterSim::notify_prefix(
+    const std::vector<kv::CoverageChange>& changes) {
+  if (!prefix_hook_) return;
+  for (const kv::CoverageChange& c : changes) {
+    prefix_hook_(c.stream, c.tokens);
+  }
 }
 
 void ClusterSim::record_kv(Time now) {
   // KV reservations are released exactly once per retirement; drift in
   // either direction corrupts the admission gate and Fig. 10 accounting.
+  // The prefix cache's blocks share the budget, so they count toward
+  // utilization (cached == 0 keeps the arithmetic bit-identical to a
+  // build without the tier).
+  const Bytes cached =
+      prefix_cache_ ? prefix_cache_->bytes_used() : Bytes{0.0};
   HERO_INVARIANT(kv_used_ >= -1e-6, "KV accounting underflow: {}", kv_used_);
-  HERO_INVARIANT(kv_used_ <= kv_budget_ + 1e-6,
-                 "KV over-reserved: {} of budget {}", kv_used_, kv_budget_);
-  const double util = kv_budget_ > 0 ? kv_used_ / kv_budget_ : 0.0;
+  HERO_INVARIANT(kv_used_ + cached <= kv_budget_ + 1e-6,
+                 "KV over-reserved: {} + {} cached of budget {}", kv_used_,
+                 cached, kv_budget_);
+  const double util =
+      kv_budget_ > 0 ? (kv_used_ + cached) / kv_budget_ : 0.0;
   kv_util_.observe(now, util);
   if (kv_timeline_.empty() || kv_timeline_.back().utilization != util) {
     kv_timeline_.push_back(KvSample{now, util});
@@ -152,6 +226,38 @@ void ClusterSim::trace_request_end(const ActiveRequest& ar, Time now) {
   }
 }
 
+void ClusterSim::retire_request(std::unique_ptr<ActiveRequest> ar,
+                                Time now) {
+  ar->finish = now;
+  kv_used_ -= ar->kv_reserved;
+  trace_request_end(*ar, now);
+
+  // Prefix tier: release the reuse pin, then publish the session's full
+  // context (input + response) so the next turn finds it cached. The
+  // cache footprint is capped at whatever the decode reservations leave.
+  if (prefix_cache_ && ar->req.session_id != 0) {
+    if (ar->reuse_tokens > 0) {
+      prefix_cache_->unpin(ar->req.session_id, ar->reuse_tokens);
+    }
+    const std::size_t context =
+        ar->req.input_tokens + ar->req.output_tokens;
+    const std::size_t before =
+        prefix_cache_->cached_tokens(ar->req.session_id);
+    std::vector<kv::CoverageChange> changes;
+    const std::size_t covered = prefix_cache_->publish(
+        ar->req.session_id, context, kv_budget_ - kv_used_, &changes);
+    notify_prefix(changes);
+    if (covered > before) {
+      prefix_stats_.published_tokens += covered - before;
+    }
+    if (covered != before && prefix_hook_) {
+      prefix_hook_(ar->req.session_id, covered);
+    }
+  }
+
+  retired_.push_back(std::move(ar));
+}
+
 void ClusterSim::on_arrival(wl::Request request) {
   auto ar = std::make_unique<ActiveRequest>();
   ar->req = request;
@@ -164,6 +270,53 @@ void ClusterSim::on_arrival(wl::Request request) {
                     {obs::arg("input_tokens", request.input_tokens),
                      obs::arg("output_tokens", request.output_tokens)});
   }
+
+  // Prefix tier: reuse the cached part of the session context. Reused
+  // blocks are pinned until the request retires so admission-time
+  // eviction can never pull them out from under an in-flight batch.
+  if (prefix_cache_ && request.session_id != 0) {
+    ++prefix_stats_.lookups;
+    const std::size_t want =
+        prefix_cache_->usable_tokens(request.prefix_tokens);
+    const std::size_t reuse =
+        std::min(want, prefix_cache_->cached_tokens(request.session_id));
+    obs::EventTracer* tr = simulator().tracer();
+    obs::MetricsRegistry* m = simulator().metrics();
+    if (reuse > 0) {
+      prefix_cache_->touch(request.session_id);
+      prefix_cache_->pin(request.session_id, reuse);
+      ar->reuse_tokens = reuse;
+      ++prefix_stats_.hits;
+      prefix_stats_.reused_tokens += reuse;
+      if (tr) {
+        tr->instant(now, tr->track("kv"), "kv", "kv.hit",
+                    {obs::arg("session", request.session_id),
+                     obs::arg("reused_tokens", reuse)});
+      }
+      if (m) {
+        m->counter("kv.hits").add(1);
+        m->counter("kv.reused_tokens")
+            .add(static_cast<std::uint64_t>(reuse));
+      }
+    } else if (request.prefix_tokens > 0) {
+      // The session has shareable context but this instance holds none
+      // of it (cold, evicted, or sub-block): full prefill.
+      ++prefix_stats_.recomputes;
+      if (tr) {
+        tr->instant(now, tr->track("kv"), "kv", "kv.recompute",
+                    {obs::arg("session", request.session_id),
+                     obs::arg("prefix_tokens", request.prefix_tokens)});
+      }
+      if (m) m->counter("kv.recomputes").add(1);
+    }
+    const std::size_t decided = prefix_stats_.hits + prefix_stats_.recomputes;
+    if (m && decided > 0) {
+      m->gauge("kv.hit_rate")
+          .set(now, static_cast<double>(prefix_stats_.hits) /
+                        static_cast<double>(decided));
+    }
+  }
+
   prefill_queue_.push_back(std::move(ar));
   ++submitted_;
   if (obs::MetricsRegistry* m = simulator().metrics()) {
@@ -179,8 +332,10 @@ void ClusterSim::try_start_prefill() {
 
   auto batch = std::make_unique<PrefillBatch>();
   while (!prefill_queue_.empty()) {
+    // Reused prefix tokens skip prefill: the batch is costed (and the
+    // token budget charged) on what actually runs through the pipeline.
     const std::size_t next_tokens =
-        prefill_queue_.front()->req.input_tokens;
+        effective_tokens(*prefill_queue_.front());
     if (!batch->requests.empty() &&
         batch->k_in + next_tokens > opts_.prefill_token_budget) {
       break;
@@ -216,8 +371,10 @@ void ClusterSim::start_kv_transfers(PrefillBatch& batch) {
   // (prefill GPU -> paired decode GPU), overlapped with prefill compute.
   Bytes per_gpu = 0.0;
   for (const auto& ar : batch.requests) {
+    // Only freshly prefilled tokens produce KV on the prefill side; the
+    // reused prefix already lives in the decode cluster's cache.
     per_gpu += opts_.model.kv_transfer_bytes_per_gpu(
-        ar->req.input_tokens, plan_.prefill.parallel.p_tens);
+        effective_tokens(*ar), plan_.prefill.parallel.p_tens);
   }
   if (per_gpu <= 0.0 || prefill_gpus_.empty()) return;
   obs::EventTracer* tr = simulator().tracer();
@@ -328,8 +485,22 @@ void ClusterSim::try_admit_decode() {
     ActiveRequest& ar = *decode_wait_queue_.front();
     const std::size_t total_tokens =
         ar.req.input_tokens + std::max<std::size_t>(ar.req.output_tokens, 1);
-    const Bytes need = kv_bytes_per_request(total_tokens);
-    if (kv_used_ + need > kv_budget_) break;  // memory-gated queueing
+    // Reused blocks are already resident (and charged) in the cache; the
+    // reservation covers only the fresh part of the sequence.
+    const Bytes need =
+        kv().bytes_for_tokens(total_tokens - ar.reuse_tokens);
+    Bytes cached = prefix_cache_ ? prefix_cache_->bytes_used() : Bytes{0.0};
+    if (prefix_cache_ && kv_used_ + cached + need > kv_budget_) {
+      // Reclaim unpinned cache blocks before letting a request queue on
+      // memory: cached prefixes are an optimization, never a reason to
+      // delay admission.
+      std::vector<kv::CoverageChange> changes;
+      prefix_cache_->evict((kv_used_ + cached + need) - kv_budget_,
+                           &changes);
+      notify_prefix(changes);
+      cached = prefix_cache_->bytes_used();
+    }
+    if (kv_used_ + cached + need > kv_budget_) break;  // memory-gated
 
     auto owned = std::move(decode_wait_queue_.front());
     decode_wait_queue_.pop_front();
@@ -338,10 +509,7 @@ void ClusterSim::try_admit_decode() {
 
     if (owned->req.output_tokens <= 1) {
       // The prefill token was the whole response.
-      owned->finish = now;
-      kv_used_ -= owned->kv_reserved;
-      trace_request_end(*owned, now);
-      retired_.push_back(std::move(owned));
+      retire_request(std::move(owned), now);
     } else {
       decoding_.push_back(std::move(owned));
     }
@@ -413,12 +581,9 @@ void ClusterSim::on_decode_iteration_done(std::size_t batch_size) {
   for (std::size_t i = batch_size; i-- > 0;) {
     ActiveRequest& ar = *decoding_[i];
     if (ar.generated + 1 >= ar.req.output_tokens) {
-      ar.finish = now;
-      kv_used_ -= ar.kv_reserved;
       log::debug("t={} retire req {}", now, ar.req.id);
-      trace_request_end(ar, now);
       ++retired_now;
-      retired_.push_back(std::move(decoding_[i]));
+      retire_request(std::move(decoding_[i]), now);
       decoding_.erase(decoding_.begin() + static_cast<std::ptrdiff_t>(i));
     }
   }
@@ -443,12 +608,10 @@ LoadSnapshot ClusterSim::load() const {
       (prefill_running_ ? prefill_running_->requests.size() : 0);
   snap.prefill_backlog_tokens = prefill_running_ ? prefill_running_->k_in : 0;
   for (const auto& ar : prefill_queue_) {
-    snap.prefill_backlog_tokens += ar->req.input_tokens;
+    snap.prefill_backlog_tokens += effective_tokens(*ar);
   }
   snap.decode_requests = decode_wait_queue_.size() + decoding_.size();
   snap.in_flight = submitted_ - retired_.size();
-  snap.kv_used = kv_used_;
-  snap.kv_budget = kv_budget_;
   return snap;
 }
 

@@ -31,6 +31,7 @@
 #include "collectives/engine.hpp"
 #include "common/stats.hpp"
 #include "gpusim/kernel_model.hpp"
+#include "kvtier/prefix_cache.hpp"
 #include "planner/planner.hpp"
 #include "workload/trace.hpp"
 
@@ -48,6 +49,10 @@ struct ServingOptions {
   /// must match the planner's r_frac.
   double r_frac = 0.8;
   gpu::KernelModelOptions kernel;
+  /// Token-block size of the prefix/KV cache tier. 0 disables the tier
+  /// entirely: no cache is built, no prefix instants/metrics are emitted,
+  /// and the simulation is byte-identical to a build without the tier.
+  std::size_t prefix_block_tokens = 0;
   std::uint64_t seed = 1;
   /// Abort the run if simulated time exceeds this (hung/overloaded system).
   Time max_sim_time = 3600.0 * units::sec;
@@ -75,8 +80,38 @@ struct LoadSnapshot {
   std::size_t decode_requests = 0;
   /// Submitted but not yet retired (the JSQ signal).
   std::size_t in_flight = 0;
-  Bytes kv_used = 0;
-  Bytes kv_budget = 0;
+};
+
+/// Point-in-time KV-memory state of one instance, from ClusterSim::kv() —
+/// the one place the budget, the decode reservations, and the prefix-cache
+/// occupancy meet (replaces the old kv_used()/kv_budget()/
+/// kv_bytes_per_request() accessor trio).
+struct KvSnapshot {
+  /// Reserved by running/admitted decode requests.
+  Bytes used = 0;
+  /// Held by the prefix cache (reclaimable except for pinned blocks).
+  Bytes cached = 0;
+  /// Decode-cluster KV budget (GPU memory minus weight shards).
+  Bytes budget = 0;
+  /// KV bytes of one token across all layers.
+  Bytes bytes_per_token = 0;
+
+  [[nodiscard]] Bytes free() const { return budget - used - cached; }
+  [[nodiscard]] Bytes bytes_for_tokens(std::size_t tokens) const {
+    return bytes_per_token * static_cast<double>(tokens);
+  }
+  [[nodiscard]] double utilization() const {
+    return budget > 0 ? (used + cached) / budget : 0.0;
+  }
+};
+
+/// Counters of the per-instance prefix tier (zero when disabled).
+struct PrefixStats {
+  std::size_t lookups = 0;     ///< session-carrying submissions
+  std::size_t hits = 0;        ///< submissions that reused cached blocks
+  std::size_t recomputes = 0;  ///< had a prefix, found nothing local
+  std::size_t reused_tokens = 0;  ///< prefill tokens skipped via reuse
+  std::size_t published_tokens = 0;  ///< coverage published at retirements
 };
 
 /// Per-request outcome of one retired (fully served) request, exported for
@@ -155,8 +190,8 @@ class ClusterSim {
   /// policy can't mix signals sampled at different instants and a new
   /// signal is one field, not another method on every instance type.
   [[nodiscard]] LoadSnapshot load() const;
-  [[nodiscard]] Bytes kv_used() const { return kv_used_; }
-  [[nodiscard]] Bytes kv_budget() const { return kv_budget_; }
+  /// One-call KV-memory snapshot (same point-query style as load()).
+  [[nodiscard]] KvSnapshot kv() const;
   [[nodiscard]] const planner::PlanResult& plan() const { return plan_; }
   [[nodiscard]] const ServingOptions& options() const { return opts_; }
   [[nodiscard]] const std::vector<topo::NodeId>& prefill_gpu_ids() const {
@@ -165,6 +200,36 @@ class ClusterSim {
   [[nodiscard]] const std::vector<topo::NodeId>& decode_gpu_ids() const {
     return decode_gpus_;
   }
+
+  // --- prefix/KV tier (enabled by options.prefix_block_tokens > 0) ------
+  // The fleet layer mirrors each instance's cached coverage into the
+  // shared PrefixDirectory through the change hook, pins blocks while a
+  // cross-instance stream reads them, and adopts streamed-in coverage at
+  // the destination before submitting the request.
+
+  [[nodiscard]] bool prefix_enabled() const {
+    return prefix_cache_ != nullptr;
+  }
+  [[nodiscard]] const PrefixStats& prefix_stats() const {
+    return prefix_stats_;
+  }
+  /// Called with (stream, covered tokens) on every coverage change;
+  /// 0 tokens = evicted. Not called after retire_prefix_cache().
+  void set_prefix_change_hook(
+      std::function<void(std::uint64_t, std::size_t)> hook);
+  /// Block-aligned cached coverage of a session (0 when tier disabled).
+  [[nodiscard]] std::size_t cached_prefix_tokens(std::uint64_t session) const;
+  /// Pin/unpin a session's first `tokens` against eviction while a
+  /// cross-instance stream reads them (balanced pairs; whole blocks).
+  void pin_prefix(std::uint64_t session, std::size_t tokens);
+  void unpin_prefix(std::uint64_t session, std::size_t tokens);
+  /// Install streamed-in coverage for a session (block-floored, capacity
+  /// permitting) as if it had been published locally.
+  void adopt_prefix(std::uint64_t session, std::size_t tokens);
+  /// Drain teardown: drop unpinned cache contents, refuse future
+  /// publications, and silence the change hook — the fleet purges the
+  /// directory wholesale instead.
+  void retire_prefix_cache();
 
  private:
   struct Stage;
@@ -189,11 +254,17 @@ class ClusterSim {
   std::vector<std::unique_ptr<ActiveRequest>> decoding_;
   bool decode_busy_ = false;
 
-  // KV memory accounting (whole decode cluster).
+  // KV memory accounting (whole decode cluster). Invariant:
+  // kv_used_ + prefix-cache bytes <= kv_budget_.
   Bytes kv_budget_ = 0;
   Bytes kv_used_ = 0;
   TimeWeighted kv_util_;
   std::vector<KvSample> kv_timeline_;
+
+  // Prefix/KV tier (null when options.prefix_block_tokens == 0).
+  std::unique_ptr<kv::PrefixCache> prefix_cache_;
+  std::function<void(std::uint64_t, std::size_t)> prefix_hook_;
+  PrefixStats prefix_stats_;
 
   // Metrics.
   std::vector<std::unique_ptr<ActiveRequest>> retired_;
@@ -211,8 +282,11 @@ class ClusterSim {
   void on_decode_iteration_done(std::size_t batch_size);
   void record_kv(Time now);
   void trace_request_end(const ActiveRequest& ar, Time now);
-
-  [[nodiscard]] Bytes kv_bytes_per_request(std::size_t total_tokens) const;
+  void retire_request(std::unique_ptr<ActiveRequest> ar, Time now);
+  /// Forward coverage changes to the fleet hook (no-op when unset).
+  void notify_prefix(const std::vector<kv::CoverageChange>& changes);
+  /// Input tokens this request actually prefills (input minus reuse).
+  [[nodiscard]] static std::size_t effective_tokens(const ActiveRequest& ar);
   /// Current fault-injection slowdown of a stage: max compute_scale over
   /// its member GPUs (tensor-parallel peers wait for the slowest shard).
   [[nodiscard]] double stage_scale(const Stage& stage) const;

@@ -105,6 +105,13 @@ struct FleetConfig {
   /// requests toward fast-decode plans when queue signals are flat — the
   /// drain-tail regime — without overriding backlog under load.
   double completion_weight = 0.01;
+  /// Fold the prefix/KV tier into hero dispatch: probe the per-instance
+  /// caches and the fleet PrefixDirectory, discount holders' cost by the
+  /// reused work, and stream blocks across the fabric when that beats
+  /// recomputing them. Off = prefix-blind dispatch (instances still reuse
+  /// whatever happens to be cached locally). Irrelevant when the tier
+  /// itself is disabled (ServingOptions::prefix_block_tokens == 0).
+  bool prefix_affinity = true;
 
   // --- elastic autoscaling ----------------------------------------------
   AutoscaleConfig autoscale;

@@ -72,15 +72,20 @@ void FleetController::reap_drained() {
   std::vector<std::size_t> still_draining;
   still_draining.reserve(draining_.size());
   for (std::size_t id : draining_) {
-    if (fleet_->instance(id).load().in_flight > 0) {
+    // A victim is reapable only once its last in-flight request retired
+    // AND no cross-instance prefix stream still reads from (or writes to)
+    // its KV memory.
+    if (fleet_->instance(id).load().in_flight > 0 ||
+        fleet_->stream_busy(id) > 0) {
       still_draining.push_back(id);
       continue;
     }
-    // Last in-flight request retired: the replica leaves the router for
-    // good and its GPUs return to the spare pool.
+    // The replica leaves the router for good; mark_released purges its
+    // prefix-directory entries BEFORE release_plan returns the GPUs to the
+    // spare pool (tier drain-consistency ordering).
     fleet_->router().remove_instance(id);
-    planner::release_plan(spare_, pristine_, fleet_->instance(id).plan());
     fleet_->mark_released(id);
+    planner::release_plan(spare_, pristine_, fleet_->instance(id).plan());
     ++stats_.releases;
     if (obs::EventTracer* tr = sim.tracer()) {
       tr->instant(sim.now(), tr->track("fleet"), "fleet", "release",

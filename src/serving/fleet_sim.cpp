@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/format.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace hero::serve {
@@ -39,6 +40,12 @@ ClusterSim& FleetSim::add_instance(planner::PlanResult plan) {
       *network_, *engine_, *scheduler_, std::move(plan),
       std::move(options)));
   lifetimes_.push_back(life);
+  stream_busy_.push_back(0);
+  // The instance's cache mirrors its coverage into the fleet directory.
+  instances_.back()->set_prefix_change_hook(
+      [this, id](std::uint64_t stream, std::size_t tokens) {
+        directory_.update(stream, id, tokens);
+      });
   router_.add_instance(*instances_.back());
   if (running_) instances_.back()->begin();
   if (deploy_after_) deploy_after_(id);
@@ -48,6 +55,16 @@ ClusterSim& FleetSim::add_instance(planner::PlanResult plan) {
 void FleetSim::mark_released(std::size_t id) {
   InstanceLifetime& life = lifetimes_.at(id);
   HERO_REQUIRE(life.released < 0, "instance {} released twice", id);
+  // Drain consistency (prefix tier): the cache retires and the directory
+  // forgets this instance before the caller hands its GPUs back, so no
+  // later dispatch can price a stream from released memory.
+  HERO_REQUIRE(stream_busy_.at(id) == 0,
+               "instance {} released with {} prefix streams in flight", id,
+               stream_busy_.at(id));
+  instances_.at(id)->retire_prefix_cache();
+  directory_.purge_instance(id);
+  HERO_INVARIANT(!directory_.instance_has_entries(id),
+                 "released instance {} still indexed by the directory", id);
   life.released = network_->simulator().now();
 }
 
@@ -55,6 +72,115 @@ std::size_t FleetSim::total_retired() const {
   std::size_t total = 0;
   for (const auto& inst : instances_) total += inst->retired_count();
   return total;
+}
+
+void FleetSim::dispatch(const wl::Request& request) {
+  sim::Simulator& sim = network_->simulator();
+  ArrivalContext ctx = router_.make_context(request);
+
+  // Prefix affinity: fold the per-instance caches and the fleet directory
+  // into the context so the hero cost can discount holders and the router
+  // can quote a cross-instance stream.
+  if (prefix_tier_enabled() && router_.config().prefix_affinity &&
+      router_.config().policy == RouterPolicy::kHeroServe &&
+      request.session_id != 0 && request.prefix_tokens > 0) {
+    const std::size_t bt = base_serving_.prefix_block_tokens;
+    const std::size_t usable = request.prefix_tokens / bt * bt;
+    if (usable > 0) {
+      ctx.prefix_tokens = usable;
+      for (std::size_t i = 0; i < instances_.size(); ++i) {
+        ctx.probes[i].prefix_tokens = std::min(
+            usable, instances_[i]->cached_prefix_tokens(request.session_id));
+      }
+      if (const auto best = directory_.best(request.session_id)) {
+        ctx.prefix_instance = best->instance;
+        ctx.prefix_tokens = std::min(usable, best->tokens);
+      }
+    }
+  }
+
+  const RouteDecision decision = router_.route(ctx);
+  if (obs::EventTracer* tr = sim.tracer()) {
+    tr->instant(sim.now(), tr->track("router"), "router", "route",
+                {obs::arg("req", request.id),
+                 obs::arg("instance", decision.instance)});
+  }
+  if (decision.prefix == PrefixAction::kStream) {
+    start_prefix_stream(decision, request);
+  } else {
+    instances_[decision.instance]->submit(request);
+  }
+}
+
+void FleetSim::start_prefix_stream(const RouteDecision& decision,
+                                   const wl::Request& request) {
+  sim::Simulator& sim = network_->simulator();
+  const std::size_t from = decision.stream_from;
+  const std::size_t to = decision.instance;
+  const std::size_t tokens = decision.reuse_tokens;
+
+  // Pin the source blocks for the duration of the stream; both endpoints
+  // count as stream-busy so a drain cannot release either mid-transfer.
+  instances_.at(from)->pin_prefix(request.session_id, tokens);
+  ++stream_busy_.at(from);
+  ++stream_busy_.at(to);
+  ++streams_total_;
+  stream_bytes_total_ += decision.stream_bytes;
+
+  if (obs::EventTracer* tr = sim.tracer()) {
+    tr->instant(sim.now(), tr->track("kv"), "kv", "kv.stream",
+                {obs::arg("session", request.session_id),
+                 obs::arg("from", from), obs::arg("to", to),
+                 obs::arg("tokens", tokens),
+                 obs::arg("bytes", decision.stream_bytes)});
+  }
+  if (obs::MetricsRegistry* m = sim.metrics()) {
+    m->counter("kv.streams").add(1);
+    m->counter("kv.stream_bytes")
+        .add(static_cast<std::uint64_t>(raw(decision.stream_bytes)));
+  }
+
+  const auto& sdec = instances_[from]->decode_gpu_ids();
+  const auto& ddec = instances_[to]->decode_gpu_ids();
+  if (sdec.empty() || ddec.empty() || decision.stream_bytes <= 0.0) {
+    // Nothing to move (degenerate plan); complete synchronously.
+    finish_prefix_stream(from, to, request, tokens);
+    return;
+  }
+  // One pipelined flow per source decode GPU to its paired destination
+  // GPU — the same sharding the router's quote priced.
+  const Bytes per_src =
+      decision.stream_bytes / static_cast<double>(sdec.size());
+  auto barrier = std::make_shared<std::size_t>(sdec.size());
+  for (std::size_t i = 0; i < sdec.size(); ++i) {
+    const std::size_t j = i * ddec.size() / sdec.size();
+    const topo::Path path = scheduler_->unicast_path(sdec[i], ddec[j]);
+    net::TransferOptions topts;
+    topts.pipelined = true;  // RDMA bulk stream
+    topts.on_complete = [this, barrier, from, to, request,
+                         tokens](net::TransferId) {
+      if (--*barrier != 0) return;
+      finish_prefix_stream(from, to, request, tokens);
+    };
+    network_->start_transfer(path, per_src, std::move(topts));
+  }
+}
+
+void FleetSim::finish_prefix_stream(std::size_t from, std::size_t to,
+                                    const wl::Request& request,
+                                    std::size_t tokens) {
+  instances_.at(from)->unpin_prefix(request.session_id, tokens);
+  // Adoption publishes the streamed coverage at the destination (capacity
+  // permitting) and mirrors it into the directory, so the submit below
+  // finds it as a local hit — and the *next* turn of the session routes
+  // to `to` directly.
+  instances_.at(to)->adopt_prefix(request.session_id, tokens);
+  HERO_INVARIANT(stream_busy_.at(from) > 0 && stream_busy_.at(to) > 0,
+                 "prefix stream {} -> {} finished without busy marks", from,
+                 to);
+  --stream_busy_.at(from);
+  --stream_busy_.at(to);
+  instances_.at(to)->submit(request);
 }
 
 FleetReport FleetSim::run(const wl::Trace& trace) {
@@ -73,17 +199,9 @@ FleetReport FleetSim::run(const wl::Trace& trace) {
   for (auto& inst : instances_) inst->begin();
 
   for (const wl::Request& r : trace) {
-    sim.schedule(r.arrival, [this, r, tr] {
-      // Dispatch happens at the arrival instant against the fleet's live
-      // state (queue depths and residual bandwidth as of *now*).
-      const std::size_t id = router_.route(r);
-      if (tr) {
-        tr->instant(network_->simulator().now(), tr->track("router"),
-                    "router", "route",
-                    {obs::arg("req", r.id), obs::arg("instance", id)});
-      }
-      instances_[id]->submit(r);
-    });
+    // Dispatch happens at the arrival instant against the fleet's live
+    // state (queue depths and residual bandwidth as of *now*).
+    sim.schedule(r.arrival, [this, r] { dispatch(r); });
   }
 
   // Count-driven exit: autoscaler ticks keep the event queue non-empty
@@ -120,9 +238,15 @@ FleetReport FleetSim::run(const wl::Trace& trace) {
                              static_cast<double>(rep.submitted));
     agg.kv_utilization_peak =
         std::max(agg.kv_utilization_peak, rep.kv_utilization_peak);
-    const LoadSnapshot load = inst->load();
-    kv_avg_weighted += rep.kv_utilization_avg * load.kv_budget;
-    kv_budget_total += load.kv_budget;
+    const KvSnapshot kv = inst->kv();
+    kv_avg_weighted += rep.kv_utilization_avg * kv.budget;
+    kv_budget_total += kv.budget;
+    const PrefixStats& ps = inst->prefix_stats();
+    fleet.prefix.lookups += ps.lookups;
+    fleet.prefix.hits += ps.hits;
+    fleet.prefix.recomputes += ps.recomputes;
+    fleet.prefix.reused_tokens += ps.reused_tokens;
+    fleet.prefix.published_tokens += ps.published_tokens;
     for (RetiredSample s : inst->retired_samples()) {
       fleet.samples.push_back(s);
     }
@@ -146,6 +270,8 @@ FleetReport FleetSim::run(const wl::Trace& trace) {
                         : 0.0;
   agg.kv_utilization_avg =
       kv_budget_total > 0 ? kv_avg_weighted / kv_budget_total : 0.0;
+  fleet.prefix_streams = streams_total_;
+  fleet.prefix_stream_bytes = stream_bytes_total_;
 
   // GPU-hours: each instance holds its GPUs from deployment until its
   // drain completed (released) or the run ended — a never-released replica

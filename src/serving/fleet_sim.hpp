@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "kvtier/directory.hpp"
 #include "serving/cluster_sim.hpp"
 #include "serving/router.hpp"
 
@@ -46,6 +47,10 @@ struct FleetReport {
   /// Controller activity (all zero when autoscaling is off); filled in by
   /// the caller that owns the FleetController.
   AutoscaleStats autoscale;
+  /// Prefix/KV tier totals (all zero when the tier is disabled).
+  PrefixStats prefix;                  ///< summed over instances
+  std::uint64_t prefix_streams = 0;    ///< cross-instance block streams
+  Bytes prefix_stream_bytes = 0.0;     ///< bytes those streams moved
 };
 
 class FleetSim {
@@ -75,7 +80,11 @@ class FleetSim {
 
   /// Record that `id`'s GPUs were returned to the spare pool (closes its
   /// lifetime for the GPU-hours integral). The FleetController calls this
-  /// when a drained instance retires its last in-flight request.
+  /// when a drained instance retires its last in-flight request — BEFORE
+  /// planner::release_plan hands the GPUs back, because this is also where
+  /// the prefix tier's drain consistency is enforced: the instance's cache
+  /// retires and every one of its PrefixDirectory entries is purged, so
+  /// the router can never price a stream from released memory.
   void mark_released(std::size_t id);
 
   /// Route + serve the whole trace on the shared simulator.
@@ -96,6 +105,23 @@ class FleetSim {
     return lifetimes_;
   }
 
+  // --- prefix/KV tier ---------------------------------------------------
+  [[nodiscard]] bool prefix_tier_enabled() const {
+    return base_serving_.prefix_block_tokens > 0;
+  }
+  [[nodiscard]] const kv::PrefixDirectory& directory() const {
+    return directory_;
+  }
+  /// In-flight cross-instance prefix streams touching `id` (as source or
+  /// destination). A draining instance must not be released while > 0.
+  [[nodiscard]] std::size_t stream_busy(std::size_t id) const {
+    return stream_busy_.at(id);
+  }
+  /// Route one request against the fleet's live state and execute the
+  /// decision (direct submit, or prefix stream then submit). run() calls
+  /// this per arrival; exposed so tests can drive single dispatches.
+  void dispatch(const wl::Request& request);
+
  private:
   net::FlowNetwork* network_;
   coll::CollectiveEngine* engine_;
@@ -108,7 +134,20 @@ class FleetSim {
   std::function<void(std::size_t)> deploy_after_;
   bool running_ = false;
 
+  // Prefix/KV tier state (inert when the tier is disabled).
+  kv::PrefixDirectory directory_;
+  std::vector<std::size_t> stream_busy_;
+  std::uint64_t streams_total_ = 0;
+  Bytes stream_bytes_total_ = 0.0;
+
   [[nodiscard]] std::size_t total_retired() const;
+  /// Execute a kStream decision: pin at the source, move the blocks as
+  /// pipelined fabric flows, adopt at the destination, then submit.
+  void start_prefix_stream(const RouteDecision& decision,
+                           const wl::Request& request);
+  void finish_prefix_stream(std::size_t from, std::size_t to,
+                            const wl::Request& request,
+                            std::size_t tokens);
 };
 
 }  // namespace hero::serve

@@ -32,6 +32,16 @@ std::optional<RouterPolicy> parse_router_policy(std::string_view name) {
   return std::nullopt;
 }
 
+const char* to_string(PrefixAction action) {
+  switch (action) {
+    case PrefixAction::kNone: return "none";
+    case PrefixAction::kHit: return "hit";
+    case PrefixAction::kStream: return "stream";
+    case PrefixAction::kRecompute: return "recompute";
+  }
+  return "?";
+}
+
 Router::Router(net::FlowNetwork& network, FleetConfig config)
     : network_(&network), config_(std::move(config)),
       rng_(config_.router_seed) {}
@@ -88,12 +98,38 @@ std::vector<std::size_t> Router::active_ids() const {
   return ids;
 }
 
-double Router::cost_for(const Instance& inst,
+ArrivalContext Router::make_context(const wl::Request& request) const {
+  ArrivalContext ctx;
+  ctx.request = request;
+  ctx.now = network_->simulator().now();
+  ctx.probes.reserve(instances_.size());
+  for (const Instance& inst : instances_) {
+    InstanceProbe probe;
+    probe.active = inst.state == State::kActive;
+    probe.load = inst.sim->load();
+    probe.kv = inst.sim->kv();
+    if (config_.policy == RouterPolicy::kHeroServe) {
+      probe.kv_path_estimates.reserve(inst.kv_paths.size());
+      for (const topo::Path& path : inst.kv_paths) {
+        if (path.edges.empty()) continue;  // co-located pair
+        probe.kv_path_estimates.push_back(network_->estimate_path(path));
+      }
+    }
+    ctx.probes.push_back(std::move(probe));
+  }
+  return ctx;
+}
+
+double Router::cost_for(const Instance& inst, const InstanceProbe& probe,
                         const wl::Request& request) const {
   const ClusterSim& sim = *inst.sim;
   const planner::PlanResult& plan = sim.plan();
   const ServingOptions& opts = sim.options();
-  const LoadSnapshot load = sim.load();
+  const LoadSnapshot& load = probe.load;
+  // Prefix affinity: the probe's cached coverage is work this instance
+  // would not redo — subtract it from the prefill and KV-transfer terms
+  // (0 everywhere when the tier is off, leaving the cost untouched).
+  const std::size_t fresh_tokens = request.input_tokens - probe.prefix_tokens;
 
   // Queue-delay estimate from the live load snapshot, built to predict the
   // *TTFT* this request would see. The prefill backlog is token-weighted
@@ -112,8 +148,7 @@ double Router::cost_for(const Instance& inst,
   const Rate mu_pre = std::max(plan.service_rate_prefill, Rate{1e-9});
   const Rate mu_dec = std::max(plan.service_rate_decode, Rate{1e-9});
   const double backlog_reqs =
-      static_cast<double>(load.prefill_backlog_tokens +
-                          request.input_tokens) /
+      static_cast<double>(load.prefill_backlog_tokens + fresh_tokens) /
       k_in;
   const double decode_overflow =
       static_cast<double>(load.decode_requests + 1) -
@@ -150,10 +185,8 @@ double Router::cost_for(const Instance& inst,
   // model exists to prevent.
   Time kv_s = 0.0;
   const Bytes bytes = opts.model.kv_transfer_bytes_per_gpu(
-      request.input_tokens, plan.prefill.parallel.p_tens);
-  for (const topo::Path& path : inst.kv_paths) {
-    if (path.edges.empty()) continue;  // co-located pair
-    const net::PathEstimate est = network_->estimate_path(path);
+      fresh_tokens, plan.prefill.parallel.p_tens);
+  for (const net::PathEstimate& est : probe.kv_path_estimates) {
     const Time latency =
         (est.fair_share > 0 ? bytes / est.fair_share
                             : std::numeric_limits<Time>::infinity()) +
@@ -165,11 +198,56 @@ double Router::cost_for(const Instance& inst,
              config_.kv_weight * kv_s);
 }
 
-double Router::cost(std::size_t id, const wl::Request& request) const {
-  return cost_for(instances_.at(id), request);
+double Router::cost(std::size_t id, const ArrivalContext& ctx) const {
+  return cost_for(instances_.at(id), ctx.probes.at(id), ctx.request);
 }
 
-std::size_t Router::route(const wl::Request& request) {
+Time Router::recompute_quote(std::size_t id, std::size_t tokens) const {
+  const planner::PlanResult& plan = instances_.at(id).sim->plan();
+  // Planned prefill token throughput: mu_pre requests/s of K_in tokens
+  // each. The quote is what prefilling the prefix from scratch costs the
+  // target — the bar a fabric stream has to beat.
+  const double k_in = static_cast<double>(
+      std::max<std::size_t>(plan.planned_k_in, 1));
+  const Rate mu_pre = std::max(plan.service_rate_prefill, Rate{1e-9});
+  return static_cast<double>(tokens) / (raw(mu_pre) * k_in);
+}
+
+Time Router::stream_quote(std::size_t from, std::size_t to,
+                          std::size_t tokens, Bytes* bytes) const {
+  const ClusterSim& src = *instances_.at(from).sim;
+  const ClusterSim& dst = *instances_.at(to).sim;
+  const auto& sdec = src.decode_gpu_ids();
+  const auto& ddec = dst.decode_gpu_ids();
+  const Bytes total =
+      src.options().model.kv_bytes_per_token() * static_cast<double>(tokens);
+  if (bytes) *bytes = total;
+  if (sdec.empty() || ddec.empty()) {
+    return std::numeric_limits<Time>::infinity();
+  }
+  // The blocks are sharded over the source's decode GPUs; each shard rides
+  // its own flow to the paired destination GPU (i -> i * |dst| / |src|,
+  // the same mapping every KV stream in the simulator uses). The quote is
+  // the slowest shard at live admission rates.
+  const Bytes per_src = total / static_cast<double>(sdec.size());
+  Time worst = 0.0;
+  for (std::size_t i = 0; i < sdec.size(); ++i) {
+    const std::size_t j = i * ddec.size() / sdec.size();
+    const auto path = topo::shortest_path(network_->graph(), sdec[i],
+                                          ddec[j]);
+    if (!path) return std::numeric_limits<Time>::infinity();
+    if (path->edges.empty()) continue;  // same GPU (cannot happen cross-instance)
+    const net::PathEstimate est = network_->estimate_path(*path);
+    if (est.fair_share <= 0) return std::numeric_limits<Time>::infinity();
+    worst = std::max(worst, per_src / est.fair_share + est.latency);
+  }
+  return worst;
+}
+
+RouteDecision Router::route(const ArrivalContext& ctx) {
+  HERO_REQUIRE(ctx.probes.size() == instances_.size(),
+               "Router::route: context has {} probes for {} instances",
+               ctx.probes.size(), instances_.size());
   const std::vector<std::size_t> active = active_ids();
   if (active.empty()) {
     throw std::logic_error("Router::route: no active instances");
@@ -192,7 +270,7 @@ std::size_t Router::route(const wl::Request& request) {
       // (strict <), so dispatch is reproducible and order-independent.
       std::size_t best = std::numeric_limits<std::size_t>::max();
       for (std::size_t i : active) {
-        const std::size_t in_flight = instances_[i].sim->load().in_flight;
+        const std::size_t in_flight = ctx.probes[i].load.in_flight;
         if (in_flight < best) {
           best = in_flight;
           pick = i;
@@ -203,7 +281,7 @@ std::size_t Router::route(const wl::Request& request) {
     case RouterPolicy::kHeroServe: {
       double best = std::numeric_limits<double>::infinity();
       for (std::size_t i : active) {
-        const double c = cost_for(instances_[i], request);
+        const double c = cost_for(instances_[i], ctx.probes[i], ctx.request);
         if (c < best) {  // strict: identical costs keep the lowest id
           best = c;
           pick = i;
@@ -212,12 +290,46 @@ std::size_t Router::route(const wl::Request& request) {
       break;
     }
   }
+
+  RouteDecision decision;
+  decision.instance = pick;
+
+  // Settle the prefix action. The picked instance's own coverage wins
+  // outright (free reuse); otherwise a directory holder elsewhere offers a
+  // fabric stream, taken only when moving the blocks beats recomputing
+  // them at the target's planned prefill rate.
+  if (ctx.prefix_tokens > 0) {
+    const InstanceProbe& probe = ctx.probes[pick];
+    if (probe.prefix_tokens > 0) {
+      decision.prefix = PrefixAction::kHit;
+      decision.reuse_tokens = probe.prefix_tokens;
+    } else if (ctx.prefix_instance != kNoInstance &&
+               ctx.prefix_instance != pick) {
+      decision.recompute_s = recompute_quote(pick, ctx.prefix_tokens);
+      decision.stream_s = stream_quote(ctx.prefix_instance, pick,
+                                       ctx.prefix_tokens,
+                                       &decision.stream_bytes);
+      if (decision.stream_s < decision.recompute_s) {
+        decision.prefix = PrefixAction::kStream;
+        decision.stream_from = ctx.prefix_instance;
+        decision.reuse_tokens = ctx.prefix_tokens;
+      } else {
+        decision.prefix = PrefixAction::kRecompute;
+        decision.stream_bytes = 0.0;
+      }
+    } else {
+      // Nobody holds it (or only the pick "would" but its cache says no):
+      // plain cold prefill.
+      decision.prefix = PrefixAction::kRecompute;
+    }
+  }
+
   ++dispatched_[pick];
   ++dispatched_total_;
   if (obs::MetricsRegistry* m = network_->simulator().metrics()) {
     m->counter("router.dispatched").add(1);
   }
-  return pick;
+  return decision;
 }
 
 }  // namespace hero::serve

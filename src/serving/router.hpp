@@ -12,6 +12,19 @@
 //     latency of this request over the *current* flow network (NetKV-style
 //     decode-aware selection). Cross-rack instances whose prefill->decode
 //     KV pairs ride congested oversubscribed uplinks price themselves out.
+//     With the prefix/KV tier enabled, the cost prices prefix affinity in
+//     naturally: an instance holding the request's cached prefix prefills
+//     (and streams) only the fresh tokens, so its backlog and KV terms
+//     shrink by exactly the reused work.
+//
+// Every dispatch starts from one ArrivalContext — the request plus a
+// same-instant probe of every instance (load snapshot, KV snapshot, live
+// path estimates) and the fleet directory's best prefix holder. route()
+// consumes the context and returns a RouteDecision: the chosen instance
+// plus the prefix action — reuse in place (kHit), stream the blocks from
+// the holder over the fabric (kStream, priced against recomputing them at
+// the target's prefill rate), or recompute (kRecompute). The fleet layer
+// executes the decision; the router never mutates instance state.
 //
 // The dispatch set is elastic: instances can be added mid-run (autoscaler
 // scale-up) and taken out in two steps — drain_instance() stops dispatch
@@ -24,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -33,6 +47,62 @@
 #include "workload/trace.hpp"
 
 namespace hero::serve {
+
+/// "No instance" sentinel (prefix holder / stream source fields).
+inline constexpr std::size_t kNoInstance =
+    std::numeric_limits<std::size_t>::max();
+
+/// Same-instant probe of one instance, taken by Router::make_context().
+struct InstanceProbe {
+  bool active = false;  ///< eligible for dispatch right now
+  LoadSnapshot load;
+  KvSnapshot kv;
+  /// Live estimates of the instance's static prefill->decode pairing
+  /// paths (co-located pairs omitted). Sampled only for the hero policy.
+  std::vector<net::PathEstimate> kv_path_estimates;
+  /// Block-aligned tokens of the request's prefix this instance has cached
+  /// (0 unless the fleet fills it from the per-instance caches).
+  std::size_t prefix_tokens = 0;
+};
+
+/// Everything one dispatch decision reads, sampled at the arrival instant.
+/// The fleet layer builds it (make_context + directory lookup), the router
+/// consumes it; tests can synthesize or perturb one directly.
+struct ArrivalContext {
+  wl::Request request;
+  Time now = 0.0;
+  /// One probe per registered instance (dead slots stay inactive).
+  std::vector<InstanceProbe> probes;
+  /// Best prefix holder fleet-wide per the directory (kNoInstance = none).
+  std::size_t prefix_instance = kNoInstance;
+  /// Block-aligned shareable prefix tokens of this request (0 = tier off,
+  /// sessionless request, or sub-block prefix).
+  std::size_t prefix_tokens = 0;
+};
+
+/// What the router decided to do about the request's cached prefix.
+enum class PrefixAction : std::uint8_t {
+  kNone,       ///< no shareable prefix in play
+  kHit,        ///< target instance already holds the prefix
+  kStream,     ///< pull blocks from stream_from before submitting
+  kRecompute,  ///< prefill from scratch (cold, or streaming loses)
+};
+
+[[nodiscard]] const char* to_string(PrefixAction action);
+
+struct RouteDecision {
+  std::size_t instance = 0;  ///< dispatch target
+  PrefixAction prefix = PrefixAction::kNone;
+  /// Tokens reused (kHit) or streamed (kStream).
+  std::size_t reuse_tokens = 0;
+  /// Stream source instance (kStream only).
+  std::size_t stream_from = kNoInstance;
+  /// Total KV bytes a kStream moves across the fabric.
+  Bytes stream_bytes = 0.0;
+  /// The quote that settled stream-vs-recompute (kStream/kRecompute).
+  Time stream_s = 0.0;
+  Time recompute_s = 0.0;
+};
 
 class Router {
  public:
@@ -65,13 +135,20 @@ class Router {
   /// Instances currently eligible for dispatch.
   [[nodiscard]] std::size_t active_count() const;
 
-  /// Pick the instance for `request` (does not submit it). Only active
-  /// instances are considered; throws when the dispatch set is empty.
-  [[nodiscard]] std::size_t route(const wl::Request& request);
+  /// Probe every instance at the current instant (loads, KV snapshots,
+  /// and — for the hero policy — live path estimates). The caller layers
+  /// prefix information on top before routing: per-probe cached tokens
+  /// and the directory's best holder.
+  [[nodiscard]] ArrivalContext make_context(const wl::Request& request) const;
 
-  /// HeroServe dispatch cost of `request` on instance `id` right now;
+  /// Pick the instance for the context's request (does not submit it) and
+  /// settle the prefix action. Only active instances are considered;
+  /// throws when the dispatch set is empty.
+  [[nodiscard]] RouteDecision route(const ArrivalContext& ctx);
+
+  /// HeroServe dispatch cost of the context's request on instance `id`;
   /// exposed for tests and the bench harness.
-  [[nodiscard]] double cost(std::size_t id, const wl::Request& request) const;
+  [[nodiscard]] double cost(std::size_t id, const ArrivalContext& ctx) const;
 
   [[nodiscard]] std::size_t instance_count() const {
     return instances_.size();
@@ -106,9 +183,17 @@ class Router {
   std::size_t next_rr_ = 0;
 
   [[nodiscard]] double cost_for(const Instance& inst,
+                                const InstanceProbe& probe,
                                 const wl::Request& request) const;
   /// Ids of active instances, ascending (the dispatch set of one route()).
   [[nodiscard]] std::vector<std::size_t> active_ids() const;
+  /// Quote streaming `tokens` of KV from `from`'s decode GPUs to `to`'s
+  /// over the live fabric (worst pairing path; infinity when unreachable).
+  [[nodiscard]] Time stream_quote(std::size_t from, std::size_t to,
+                                  std::size_t tokens, Bytes* bytes) const;
+  /// Quote recomputing `tokens` at `id`'s planned prefill token rate.
+  [[nodiscard]] Time recompute_quote(std::size_t id,
+                                     std::size_t tokens) const;
 };
 
 }  // namespace hero::serve

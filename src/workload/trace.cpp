@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <stdexcept>
 
 namespace hero::wl {
@@ -170,6 +171,81 @@ Trace generate_flash_crowd_trace(const FlashCrowdOptions& opts) {
   return trace;
 }
 
+Trace generate_multiturn_trace(const MultiturnOptions& opts) {
+  if (opts.base.rate <= 0.0) {
+    throw std::invalid_argument("generate_multiturn_trace: rate");
+  }
+  if (opts.mean_turns < 1.0) {
+    throw std::invalid_argument("generate_multiturn_trace: mean_turns >= 1");
+  }
+  if (opts.multi_turn_fraction < 0.0 || opts.multi_turn_fraction > 1.0) {
+    throw std::invalid_argument(
+        "generate_multiturn_trace: multi_turn_fraction in [0,1]");
+  }
+  if (opts.think_mean <= 0.0) {
+    throw std::invalid_argument("generate_multiturn_trace: think_mean");
+  }
+  Rng rng(opts.base.seed);
+
+  // Sessions arrive so that the *request* rate matches base.rate in
+  // expectation: expected turns per session is a mix of one-shots and
+  // geometric multi-turn sessions.
+  const double expected_turns =
+      (1.0 - opts.multi_turn_fraction) +
+      opts.multi_turn_fraction * opts.mean_turns;
+  const Rate session_rate = opts.base.rate / expected_turns;
+  const double continue_p =
+      opts.mean_turns > 1.0 ? 1.0 - 1.0 / opts.mean_turns : 0.0;
+
+  Trace trace;
+  trace.reserve(opts.base.count + opts.base.count / 4);
+  Time session_clock = 0.0;
+  std::uint64_t session_id = 0;
+  while (trace.size() < opts.base.count) {
+    session_clock += rng.exponential(raw(session_rate));
+    ++session_id;
+    const bool multi_turn = rng.bernoulli(opts.multi_turn_fraction);
+
+    Time now = session_clock;
+    std::size_t context = 0;  // accumulated shareable prefix
+    for (std::size_t turn = 0;; ++turn) {
+      const std::size_t user = sample_length(rng, opts.base.lengths.input_mu,
+                                             opts.base.lengths.input_sigma,
+                                             opts.base.lengths.input_min,
+                                             opts.base.lengths.input_max);
+      Request r;
+      r.arrival = now;
+      r.session_id = session_id;
+      r.prefix_tokens = context;
+      r.input_tokens =
+          context + user + (turn == 0 ? opts.system_prompt_tokens : 0);
+      r.output_tokens = sample_length(rng, opts.base.lengths.output_mu,
+                                      opts.base.lengths.output_sigma,
+                                      opts.base.lengths.output_min,
+                                      opts.base.lengths.output_max);
+      trace.push_back(r);
+
+      context = r.input_tokens + r.output_tokens;
+      if (!multi_turn || context > opts.max_context_tokens ||
+          !rng.bernoulli(continue_p)) {
+        break;
+      }
+      now += rng.exponential(raw(1.0 / opts.think_mean));
+    }
+  }
+
+  // Sessions were emitted whole, so interleave and trim to the requested
+  // count. stable_sort keeps within-session turn order on (impossible in
+  // practice, but deterministic) arrival ties.
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  trace.resize(opts.base.count);
+  for (std::size_t i = 0; i < trace.size(); ++i) trace[i].id = i;
+  return trace;
+}
+
 WorkloadEstimator::WorkloadEstimator(std::size_t window)
     : input_len_(window), input_len_sq_(window), output_len_(window) {}
 
@@ -200,13 +276,18 @@ TraceStats summarize(const Trace& trace) {
   TraceStats stats;
   stats.count = trace.size();
   if (trace.empty()) return stats;
-  double in = 0.0, out = 0.0;
+  double in = 0.0, out = 0.0, prefix = 0.0;
+  std::set<std::uint64_t> sessions;
   for (const Request& r : trace) {
     in += static_cast<double>(r.input_tokens);
     out += static_cast<double>(r.output_tokens);
+    prefix += static_cast<double>(r.prefix_tokens);
+    if (r.session_id != 0) sessions.insert(r.session_id);
   }
   stats.mean_input = in / static_cast<double>(trace.size());
   stats.mean_output = out / static_cast<double>(trace.size());
+  stats.sessions = sessions.size();
+  stats.shareable_fraction = in > 0.0 ? prefix / in : 0.0;
   const Time makespan = trace.back().arrival - trace.front().arrival;
   stats.mean_rate = makespan > 0
                         ? static_cast<double>(trace.size() - 1) / makespan

@@ -24,6 +24,13 @@ struct Request {
   Time arrival = 0.0;
   std::size_t input_tokens = 0;
   std::size_t output_tokens = 0;
+  /// Conversation session of a multi-turn trace. 0 = sessionless: the
+  /// prefix/KV tier ignores the request entirely.
+  std::uint64_t session_id = 0;
+  /// Leading tokens of input_tokens that are the session's accumulated
+  /// context (system prompt + prior turns, the shareable prefix); the
+  /// remainder is the new user turn. Always < input_tokens.
+  std::size_t prefix_tokens = 0;
 };
 
 using Trace = std::vector<Request>;
@@ -93,6 +100,34 @@ struct FlashCrowdOptions {
 
 [[nodiscard]] Trace generate_flash_crowd_trace(const FlashCrowdOptions& opts);
 
+/// Multi-turn chatbot sessions (the prefix/KV-tier workload): every session
+/// opens with a system prompt, and each follow-up turn resubmits the whole
+/// accumulated context (prior inputs + responses) plus a fresh user turn —
+/// so `prefix_tokens` of each follow-up is exactly the context a cache that
+/// saw the previous turn retire can reuse. Sessions arrive as a Poisson
+/// process; turns within a session are spaced by exponential think time.
+struct MultiturnOptions {
+  /// rate = mean *request* arrivals per second (sessions arrive at
+  /// rate / mean_turns); count, lengths (per-turn user input + response
+  /// lengths) and seed as usual. Burstiness fields are ignored.
+  TraceOptions base;
+  /// System-prompt tokens prepended to every session's first turn.
+  std::size_t system_prompt_tokens = 256;
+  /// Mean turns per multi-turn session (geometric, >= 1).
+  double mean_turns = 4.0;
+  /// Fraction of sessions that get follow-up turns at all; the rest are
+  /// one-shot (0.0 makes the whole trace prefix-free in practice).
+  double multi_turn_fraction = 1.0;
+  /// Mean think time between a session's turns (simulated seconds). Keep
+  /// well above typical request completion so follow-ups find their
+  /// context already cached.
+  Time think_mean = 30.0;
+  /// A session ends once its accumulated context would exceed this.
+  std::size_t max_context_tokens = 8192;
+};
+
+[[nodiscard]] Trace generate_multiturn_trace(const MultiturnOptions& opts);
+
 /// Moving-average workload estimator (paper SIII-B: "we utilize state
 /// information collected by the online scheduler module and apply a moving
 /// average method to dynamically update K_in and K_out"). Feeds the
@@ -124,6 +159,10 @@ struct TraceStats {
   double mean_output = 0.0;
   Rate mean_rate = 0.0;  ///< count / makespan
   std::size_t count = 0;
+  std::size_t sessions = 0;  ///< distinct non-zero session ids
+  /// sum(prefix_tokens) / sum(input_tokens): the fraction of all prefill
+  /// work that is a previously-served context (the KV tier's upper bound).
+  double shareable_fraction = 0.0;
 };
 
 [[nodiscard]] TraceStats summarize(const Trace& trace);

@@ -27,27 +27,40 @@ Trace read_trace_csv(std::istream& in) {
 
     std::istringstream row(body);
     std::string cell;
-    double fields[3];
-    for (int f = 0; f < 3; ++f) {
-      if (!std::getline(row, cell, ',')) {
-        throw std::runtime_error(
-            strfmt("trace csv line {}: expected 3 fields", line_no));
-      }
+    double fields[5] = {0, 0, 0, 0, 0};
+    int parsed = 0;
+    while (parsed < 5 && std::getline(row, cell, ',')) {
       try {
-        fields[f] = std::stod(cell);
+        fields[parsed] = std::stod(cell);
       } catch (const std::exception&) {
         throw std::runtime_error(
             strfmt("trace csv line {}: bad number '{}'", line_no, cell));
       }
+      ++parsed;
     }
-    if (fields[0] < 0 || fields[1] < 0 || fields[2] < 0) {
+    // Legacy rows carry 3 fields; session-annotated rows carry 5
+    // (session_id, prefix_tokens).
+    if (parsed != 3 && parsed != 5) {
       throw std::runtime_error(
-          strfmt("trace csv line {}: negative value", line_no));
+          strfmt("trace csv line {}: expected 3 or 5 fields", line_no));
+    }
+    for (int f = 0; f < parsed; ++f) {
+      if (fields[f] < 0) {
+        throw std::runtime_error(
+            strfmt("trace csv line {}: negative value", line_no));
+      }
     }
     Request r;
     r.arrival = fields[0];
     r.input_tokens = static_cast<std::size_t>(fields[1]);
     r.output_tokens = static_cast<std::size_t>(fields[2]);
+    r.session_id = static_cast<std::uint64_t>(fields[3]);
+    r.prefix_tokens = static_cast<std::size_t>(fields[4]);
+    if (r.prefix_tokens >= r.input_tokens && r.prefix_tokens != 0) {
+      throw std::runtime_error(
+          strfmt("trace csv line {}: prefix_tokens >= input_tokens",
+                 line_no));
+    }
     trace.push_back(r);
   }
   std::stable_sort(trace.begin(), trace.end(),
@@ -65,12 +78,22 @@ Trace load_trace_csv(const std::string& path) {
 }
 
 void write_trace_csv(std::ostream& out, const Trace& trace) {
+  // Sessionless traces keep the legacy 3-column format byte-for-byte;
+  // session columns appear only when some request carries one.
+  const bool sessions =
+      std::any_of(trace.begin(), trace.end(),
+                  [](const Request& r) { return r.session_id != 0; });
   out << std::setprecision(17);  // lossless double round-trip
   out << "# HeroServe request trace\n";
-  out << "arrival_s,input_tokens,output_tokens\n";
+  if (sessions) {
+    out << "arrival_s,input_tokens,output_tokens,session_id,prefix_tokens\n";
+  } else {
+    out << "arrival_s,input_tokens,output_tokens\n";
+  }
   for (const Request& r : trace) {
-    out << r.arrival << ',' << r.input_tokens << ',' << r.output_tokens
-        << '\n';
+    out << r.arrival << ',' << r.input_tokens << ',' << r.output_tokens;
+    if (sessions) out << ',' << r.session_id << ',' << r.prefix_tokens;
+    out << '\n';
   }
 }
 

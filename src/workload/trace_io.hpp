@@ -4,9 +4,12 @@
 // generators.
 //
 // Format: one request per line, header optional:
-//     arrival_s,input_tokens,output_tokens
-// Lines starting with '#' are comments. Requests are sorted by arrival on
-// load and re-numbered sequentially.
+//     arrival_s,input_tokens,output_tokens[,session_id,prefix_tokens]
+// The two session columns (multi-turn traces for the prefix/KV tier) are
+// written only when some request carries a non-zero session_id, so
+// sessionless traces round-trip byte-identically with the legacy 3-column
+// files. Lines starting with '#' are comments. Requests are sorted by
+// arrival on load and re-numbered sequentially.
 #pragma once
 
 #include <iosfwd>

@@ -137,12 +137,14 @@ class RouterTieBreak : public ::testing::Test {
 
   std::unique_ptr<serve::FleetSim> make_fleet(
       serve::RouterPolicy policy,
-      std::optional<double> completion_weight = std::nullopt) {
+      std::optional<double> completion_weight = std::nullopt,
+      std::size_t prefix_block_tokens = 0) {
     serve::FleetConfig fc;
     fc.policy = policy;
     if (completion_weight) fc.completion_weight = *completion_weight;
     serve::ServingOptions opts;
     opts.model = llm::opt_66b();
+    opts.prefix_block_tokens = prefix_block_tokens;
     auto fleet = std::make_unique<serve::FleetSim>(*network_, *engine_,
                                                    *scheduler_, fc, opts);
     for (const planner::PlanResult& p : plan_.instances) {
@@ -176,9 +178,13 @@ TEST_F(RouterTieBreak, HeroCostTiesResolveToLowestId) {
   const auto fleet = make_fleet(serve::RouterPolicy::kHeroServe,
                                 /*completion_weight=*/0.0);
   const wl::Request r = request();
-  EXPECT_DOUBLE_EQ(fleet->router().cost(0, r), fleet->router().cost(1, r));
+  const serve::ArrivalContext ctx = fleet->router().make_context(r);
+  EXPECT_DOUBLE_EQ(fleet->router().cost(0, ctx), fleet->router().cost(1, ctx));
   // Idle fleet: every route is a tie and must stick to instance 0.
-  for (int i = 0; i < 3; ++i) EXPECT_EQ(fleet->router().route(r), 0u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(fleet->router().route(fleet->router().make_context(r)).instance,
+              0u);
+  }
 }
 
 TEST_F(RouterTieBreak, HeroPrefersFasterDecodePlanWhenIdle) {
@@ -187,29 +193,112 @@ TEST_F(RouterTieBreak, HeroPrefersFasterDecodePlanWhenIdle) {
   // faster, so it wins outright rather than by tie-break.
   const auto fleet = make_fleet(serve::RouterPolicy::kHeroServe);
   const wl::Request r = request();
-  EXPECT_LT(fleet->router().cost(0, r), fleet->router().cost(1, r));
-  EXPECT_EQ(fleet->router().route(r), 0u);
+  const serve::ArrivalContext ctx = fleet->router().make_context(r);
+  EXPECT_LT(fleet->router().cost(0, ctx), fleet->router().cost(1, ctx));
+  EXPECT_EQ(fleet->router().route(ctx).instance, 0u);
 }
 
 TEST_F(RouterTieBreak, ShortestQueueTiesResolveToLowestId) {
   const auto fleet = make_fleet(serve::RouterPolicy::kShortestQueue);
   const wl::Request r = request();
-  EXPECT_EQ(fleet->router().route(r), 0u);
+  EXPECT_EQ(fleet->router().route(fleet->router().make_context(r)).instance,
+            0u);
   // Loading instance 0 breaks the tie the other way.
   fleet->instance(0).begin();
   fleet->instance(1).begin();
   fleet->instance(0).submit(r);
-  EXPECT_EQ(fleet->router().route(r), 1u);
+  EXPECT_EQ(fleet->router().route(fleet->router().make_context(r)).instance,
+            1u);
 }
 
 TEST_F(RouterTieBreak, RoundRobinRotates) {
   const auto fleet = make_fleet(serve::RouterPolicy::kRoundRobin);
   const wl::Request r = request();
-  EXPECT_EQ(fleet->router().route(r), 0u);
-  EXPECT_EQ(fleet->router().route(r), 1u);
-  EXPECT_EQ(fleet->router().route(r), 0u);
+  EXPECT_EQ(fleet->router().route(fleet->router().make_context(r)).instance,
+            0u);
+  EXPECT_EQ(fleet->router().route(fleet->router().make_context(r)).instance,
+            1u);
+  EXPECT_EQ(fleet->router().route(fleet->router().make_context(r)).instance,
+            0u);
   EXPECT_EQ(fleet->router().dispatched()[0], 2u);
   EXPECT_EQ(fleet->router().dispatched()[1], 1u);
+}
+
+// --- prefix/KV tier at fleet level ---
+
+TEST_F(RouterTieBreak, AffinityRoutesFollowUpToTheHolder) {
+  const auto fleet = make_fleet(serve::RouterPolicy::kHeroServe,
+                                std::nullopt, /*prefix_block_tokens=*/128);
+  fleet->instance(0).begin();
+  fleet->instance(1).begin();
+  // Instance 1 holds almost all of session 7's context; the affinity-aware
+  // hero cost must prefer it even though instance 0 wins on an idle fleet.
+  fleet->instance(1).adopt_prefix(7, 1920);
+  ASSERT_EQ(fleet->instance(1).cached_prefix_tokens(7), 1920u);
+  wl::Request r = request();
+  r.session_id = 7;
+  r.input_tokens = 2048;
+  r.prefix_tokens = 1920;
+  fleet->dispatch(r);
+  EXPECT_EQ(fleet->router().dispatched()[0], 0u);
+  EXPECT_EQ(fleet->router().dispatched()[1], 1u);
+  EXPECT_EQ(fleet->instance(1).prefix_stats().hits, 1u);
+  EXPECT_EQ(fleet->instance(1).prefix_stats().reused_tokens, 1920u);
+}
+
+TEST_F(RouterTieBreak, DrainPurgesDirectoryBeforeRelease) {
+  const auto fleet = make_fleet(serve::RouterPolicy::kHeroServe,
+                                std::nullopt, /*prefix_block_tokens=*/128);
+  fleet->instance(0).adopt_prefix(7, 256);
+  fleet->instance(1).adopt_prefix(7, 128);
+  EXPECT_EQ(fleet->directory().tokens_at(7, 0), 256u);
+  ASSERT_TRUE(fleet->directory().best(7).has_value());
+  EXPECT_EQ(fleet->directory().best(7)->instance, 0u);
+
+  // Drain and release instance 0 the way the controller does: the
+  // directory must forget it the moment its GPUs could be handed back.
+  fleet->router().drain_instance(0);
+  ASSERT_EQ(fleet->stream_busy(0), 0u);
+  fleet->router().remove_instance(0);
+  fleet->mark_released(0);
+  EXPECT_FALSE(fleet->directory().instance_has_entries(0));
+  const auto best = fleet->directory().best(7);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->instance, 1u);
+  EXPECT_EQ(best->tokens, 128u);
+  // The retired cache refuses new coverage, so no stale re-publication can
+  // resurrect the released instance in the directory.
+  fleet->instance(0).adopt_prefix(9, 256);
+  EXPECT_EQ(fleet->directory().tokens_at(9, 0), 0u);
+}
+
+TEST_F(RouterTieBreak, DirectoryMirrorsCachesAfterMultiturnRun) {
+  const auto fleet = make_fleet(serve::RouterPolicy::kHeroServe,
+                                std::nullopt, /*prefix_block_tokens=*/128);
+  wl::MultiturnOptions mt;
+  mt.base.rate = 1.0;
+  mt.base.count = 24;
+  mt.base.lengths = wl::sharegpt_lengths();
+  mt.base.seed = 11;
+  mt.mean_turns = 4.0;
+  mt.think_mean = 45.0;
+  const wl::Trace trace = wl::generate_multiturn_trace(mt);
+  const serve::FleetReport rep = fleet->run(trace);
+  EXPECT_EQ(rep.aggregate.completed, trace.size());
+  EXPECT_GT(rep.prefix.lookups, 0u);
+  EXPECT_GT(rep.prefix.published_tokens, 0u);
+  // Directory consistency after publishes, evictions, and (possibly)
+  // streams: the mirror agrees with every instance's cache for every
+  // session the trace touched.
+  std::set<std::uint64_t> sessions;
+  for (const wl::Request& r : trace) sessions.insert(r.session_id);
+  for (const std::uint64_t s : sessions) {
+    for (std::size_t i = 0; i < fleet->instance_count(); ++i) {
+      EXPECT_EQ(fleet->directory().tokens_at(s, i),
+                fleet->instance(i).cached_prefix_tokens(s))
+          << "session " << s << " instance " << i;
+    }
+  }
 }
 
 ExperimentConfig fleet_config(std::size_t instances,

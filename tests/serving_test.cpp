@@ -2,6 +2,8 @@
 // batching, KV-memory-gated admission, and metric accounting.
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "core/heroserve.hpp"
 
 namespace hero::serve {
@@ -186,6 +188,144 @@ TEST(ClusterSim, BaselineSchedulerAlsoServes) {
   ClusterSim sim(*f.network, *f.engine, *f.scheduler, f.plan, f.options());
   const ServingReport report = sim.run(f.trace(0.5, 10));
   EXPECT_EQ(report.completed, 10u);
+}
+
+// --- prefix/KV tier ---
+
+TEST(ClusterSim, KvSnapshotReplacesAccessorTrio) {
+  ServeFixture f;
+  ClusterSim sim(*f.network, *f.engine, *f.scheduler, f.plan, f.options());
+  const KvSnapshot kv = sim.kv();
+  EXPECT_GT(kv.budget, 0.0);
+  EXPECT_DOUBLE_EQ(raw(kv.used), 0.0);
+  EXPECT_DOUBLE_EQ(raw(kv.cached), 0.0);
+  EXPECT_DOUBLE_EQ(raw(kv.bytes_per_token), raw(f.model.kv_bytes_per_token()));
+  EXPECT_DOUBLE_EQ(raw(kv.free()), raw(kv.budget));
+  EXPECT_DOUBLE_EQ(raw(kv.bytes_for_tokens(100)),
+                   100.0 * raw(kv.bytes_per_token));
+  EXPECT_DOUBLE_EQ(kv.utilization(), 0.0);
+}
+
+TEST(ClusterSim, TierDisabledByDefault) {
+  ServeFixture f;
+  ClusterSim sim(*f.network, *f.engine, *f.scheduler, f.plan, f.options());
+  EXPECT_FALSE(sim.prefix_enabled());
+  EXPECT_EQ(sim.cached_prefix_tokens(7), 0u);
+  const ServingReport report = sim.run(f.trace(0.5, 8));
+  EXPECT_EQ(report.completed, 8u);
+  EXPECT_EQ(sim.prefix_stats().lookups, 0u);
+}
+
+TEST(ClusterSim, TierIsNoOpOnSessionlessTraces) {
+  // Enabling the tier must not change a prefix-free run in any observable
+  // way: same completions, bitwise-identical timings.
+  auto run_once = [](std::size_t block_tokens) {
+    ServeFixture f;
+    ServingOptions opts = f.options();
+    opts.prefix_block_tokens = block_tokens;
+    ClusterSim sim(*f.network, *f.engine, *f.scheduler, f.plan, opts);
+    f.scheduler->start();
+    return sim.run(f.trace(0.8, 15));
+  };
+  const ServingReport off = run_once(0);
+  const ServingReport on = run_once(128);
+  EXPECT_EQ(on.completed, off.completed);
+  EXPECT_DOUBLE_EQ(raw(on.makespan), raw(off.makespan));
+  EXPECT_DOUBLE_EQ(on.ttft.p90(), off.ttft.p90());
+  EXPECT_DOUBLE_EQ(on.tpot.p90(), off.tpot.p90());
+  EXPECT_DOUBLE_EQ(on.kv_utilization_avg, off.kv_utilization_avg);
+}
+
+wl::Trace multiturn_trace(std::size_t count, std::uint64_t seed = 5) {
+  wl::MultiturnOptions mt;
+  mt.base.rate = 0.6;
+  mt.base.count = count;
+  mt.base.lengths = wl::sharegpt_lengths();
+  mt.base.seed = seed;
+  mt.mean_turns = 4.0;
+  mt.think_mean = 60.0;
+  return wl::generate_multiturn_trace(mt);
+}
+
+TEST(ClusterSim, PrefixReuseSkipsPrefillWork) {
+  ServeFixture f;
+  ServingOptions opts = f.options();
+  opts.prefix_block_tokens = 128;
+  ClusterSim sim(*f.network, *f.engine, *f.scheduler, f.plan, opts);
+  f.scheduler->start();
+  const wl::Trace trace = multiturn_trace(30);
+  const ServingReport report = sim.run(trace);
+  EXPECT_EQ(report.completed, trace.size());
+  const PrefixStats& stats = sim.prefix_stats();
+  // Follow-up turns arrive after their session's previous turn retired and
+  // published its context, so some must hit the local cache.
+  EXPECT_GT(stats.lookups, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.reused_tokens, 0u);
+  EXPECT_GT(stats.published_tokens, 0u);
+  EXPECT_LE(stats.hits + stats.recomputes, stats.lookups);
+}
+
+TEST(ClusterSim, PrefixReuseImprovesTtftOnMultiturn) {
+  auto run_once = [](std::size_t block_tokens) {
+    ServeFixture f;
+    ServingOptions opts = f.options();
+    opts.prefix_block_tokens = block_tokens;
+    ClusterSim sim(*f.network, *f.engine, *f.scheduler, f.plan, opts);
+    f.scheduler->start();
+    return sim.run(multiturn_trace(30));
+  };
+  const ServingReport blind = run_once(0);
+  const ServingReport reuse = run_once(128);
+  EXPECT_EQ(reuse.completed, blind.completed);
+  // Reused blocks skip prefill compute: mean TTFT cannot get worse and a
+  // ~4-turn chat workload must show a real win.
+  EXPECT_LT(reuse.ttft.mean(), blind.ttft.mean());
+}
+
+TEST(ClusterSim, ChangeHookMirrorsCoverage) {
+  ServeFixture f;
+  ServingOptions opts = f.options();
+  opts.prefix_block_tokens = 128;
+  ClusterSim sim(*f.network, *f.engine, *f.scheduler, f.plan, opts);
+  f.scheduler->start();
+  std::map<std::uint64_t, std::size_t> mirror;
+  sim.set_prefix_change_hook(
+      [&mirror](std::uint64_t stream, std::size_t tokens) {
+        if (tokens == 0) {
+          mirror.erase(stream);
+        } else {
+          mirror[stream] = tokens;
+        }
+      });
+  const ServingReport report = sim.run(multiturn_trace(20));
+  EXPECT_GT(report.completed, 0u);
+  // The mirror agrees with the cache for every stream it tracks.
+  EXPECT_FALSE(mirror.empty());
+  for (const auto& [stream, tokens] : mirror) {
+    EXPECT_EQ(sim.cached_prefix_tokens(stream), tokens);
+  }
+}
+
+TEST(ClusterSim, RetirePrefixCacheSilencesHookAndDropsCoverage) {
+  ServeFixture f;
+  ServingOptions opts = f.options();
+  opts.prefix_block_tokens = 128;
+  ClusterSim sim(*f.network, *f.engine, *f.scheduler, f.plan, opts);
+  f.scheduler->start();
+  std::size_t calls_after_retire = 0;
+  bool retired = false;
+  sim.set_prefix_change_hook(
+      [&](std::uint64_t, std::size_t) { calls_after_retire += retired; });
+  const ServingReport report = sim.run(multiturn_trace(15));
+  EXPECT_GT(report.completed, 0u);
+  retired = true;
+  sim.retire_prefix_cache();
+  EXPECT_EQ(calls_after_retire, 0u);
+  EXPECT_DOUBLE_EQ(raw(sim.kv().cached), 0.0);
+  // Adoption after retirement is refused.
+  sim.adopt_prefix(12345, 256);
+  EXPECT_EQ(sim.cached_prefix_tokens(12345), 0u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 // topology mode.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "switchsim/ina_transport.hpp"
@@ -169,6 +170,53 @@ TEST(TraceIo, RejectsMalformedRows) {
   EXPECT_THROW(wl::read_trace_csv(garbage), std::runtime_error);
   std::stringstream negative("-1.0,5,3\n");
   EXPECT_THROW(wl::read_trace_csv(negative), std::runtime_error);
+}
+
+TEST(TraceIo, SessionColumnsRoundTrip) {
+  wl::MultiturnOptions opts;
+  opts.base.rate = 4.0;
+  opts.base.count = 60;
+  const wl::Trace original = wl::generate_multiturn_trace(opts);
+  std::stringstream buffer;
+  wl::write_trace_csv(buffer, original);
+  EXPECT_NE(buffer.str().find("session_id,prefix_tokens"),
+            std::string::npos);
+  const wl::Trace loaded = wl::read_trace_csv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].session_id, original[i].session_id);
+    EXPECT_EQ(loaded[i].prefix_tokens, original[i].prefix_tokens);
+  }
+}
+
+TEST(TraceIo, SessionlessTraceKeepsLegacyThreeColumnFormat) {
+  wl::TraceOptions opts;
+  opts.count = 10;
+  const wl::Trace t = wl::generate_trace(opts);
+  std::stringstream buffer;
+  wl::write_trace_csv(buffer, t);
+  // Byte-compatible with pre-tier traces: no session columns anywhere.
+  EXPECT_EQ(buffer.str().find("session_id"), std::string::npos);
+  for (std::string line; std::getline(buffer, line);) {
+    if (line.empty() || line[0] == '#' || line.find("arrival") == 0) continue;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 2)
+        << "unexpected row: " << line;
+  }
+  // Legacy rows load with empty session fields.
+  std::stringstream legacy("0.5,100,20\n");
+  const wl::Trace loaded = wl::read_trace_csv(legacy);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].session_id, 0u);
+  EXPECT_EQ(loaded[0].prefix_tokens, 0u);
+}
+
+TEST(TraceIo, RejectsBadSessionRows) {
+  // 4 fields is neither legacy nor session format.
+  std::stringstream four("1.0,100,20,7\n");
+  EXPECT_THROW(wl::read_trace_csv(four), std::runtime_error);
+  // A prefix claiming the whole input leaves no fresh turn tokens.
+  std::stringstream prefix("1.0,100,20,7,100\n");
+  EXPECT_THROW(wl::read_trace_csv(prefix), std::runtime_error);
 }
 
 TEST(TraceIo, LoadMissingFileThrows) {

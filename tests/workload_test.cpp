@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 
 #include "workload/trace.hpp"
 
@@ -196,6 +197,96 @@ TEST(FlashCrowd, RejectsBadOptions) {
   opts.burst_multiplier = 2.0;
   opts.burst_duration = 0.0;
   EXPECT_THROW(generate_flash_crowd_trace(opts), std::invalid_argument);
+}
+
+// --- multi-turn sessions (prefix/KV-tier workload) ---
+
+TEST(Multiturn, DeterministicForSeed) {
+  MultiturnOptions opts;
+  opts.base.rate = 4.0;
+  opts.base.count = 300;
+  opts.base.seed = 17;
+  const Trace a = generate_multiturn_trace(opts);
+  const Trace b = generate_multiturn_trace(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(raw(a[i].arrival), raw(b[i].arrival));
+    EXPECT_EQ(a[i].input_tokens, b[i].input_tokens);
+    EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+    EXPECT_EQ(a[i].session_id, b[i].session_id);
+    EXPECT_EQ(a[i].prefix_tokens, b[i].prefix_tokens);
+  }
+}
+
+TEST(Multiturn, PrefixChainsAreConsistent) {
+  MultiturnOptions opts;
+  opts.base.rate = 5.0;
+  opts.base.count = 500;
+  opts.base.seed = 3;
+  const Trace t = generate_multiturn_trace(opts);
+  // Per-session bookkeeping: last seen turn's input+output per session.
+  std::map<std::uint64_t, std::size_t> context;
+  std::map<std::uint64_t, Time> last_arrival;
+  for (const Request& r : t) {
+    ASSERT_NE(r.session_id, 0u);  // every multiturn request has a session
+    ASSERT_LT(r.prefix_tokens, r.input_tokens);
+    const auto it = context.find(r.session_id);
+    if (it == context.end()) {
+      // First turn: the only shareable prefix is the system prompt, which
+      // no earlier request served -> prefix_tokens must be 0.
+      EXPECT_EQ(r.prefix_tokens, 0u);
+    } else {
+      // Follow-up: the declared prefix is exactly the accumulated context
+      // (previous turn's input + output), and turns are time-ordered.
+      EXPECT_EQ(r.prefix_tokens, it->second);
+      EXPECT_GT(r.arrival, last_arrival[r.session_id]);
+    }
+    context[r.session_id] = r.input_tokens + r.output_tokens;
+    last_arrival[r.session_id] = r.arrival;
+  }
+}
+
+TEST(Multiturn, ContextCapEndsSessions) {
+  MultiturnOptions opts;
+  opts.base.rate = 5.0;
+  opts.base.count = 800;
+  opts.mean_turns = 50.0;  // would run forever without the cap
+  opts.max_context_tokens = 2048;
+  const Trace t = generate_multiturn_trace(opts);
+  for (const Request& r : t) {
+    EXPECT_LE(r.prefix_tokens, opts.max_context_tokens);
+  }
+}
+
+TEST(Multiturn, ShareableFractionScalesWithTurns) {
+  MultiturnOptions oneshot;
+  oneshot.base.rate = 8.0;
+  oneshot.base.count = 1500;
+  oneshot.multi_turn_fraction = 0.0;
+  const TraceStats a = summarize(generate_multiturn_trace(oneshot));
+  EXPECT_DOUBLE_EQ(a.shareable_fraction, 0.0);
+  EXPECT_GT(a.sessions, 0u);
+
+  MultiturnOptions chat = oneshot;
+  chat.multi_turn_fraction = 1.0;
+  chat.mean_turns = 5.0;
+  const TraceStats b = summarize(generate_multiturn_trace(chat));
+  // Accumulated contexts dominate long sessions' prefill.
+  EXPECT_GT(b.shareable_fraction, 0.4);
+  EXPECT_LT(b.shareable_fraction, 1.0);
+  EXPECT_LT(b.sessions, a.sessions);  // same request count, longer sessions
+}
+
+TEST(Multiturn, RejectsBadOptions) {
+  MultiturnOptions opts;
+  opts.mean_turns = 0.5;
+  EXPECT_THROW(generate_multiturn_trace(opts), std::invalid_argument);
+  opts.mean_turns = 4.0;
+  opts.multi_turn_fraction = 1.5;
+  EXPECT_THROW(generate_multiturn_trace(opts), std::invalid_argument);
+  opts.multi_turn_fraction = 1.0;
+  opts.think_mean = 0.0;
+  EXPECT_THROW(generate_multiturn_trace(opts), std::invalid_argument);
 }
 
 TEST(Summarize, EmptyTrace) {

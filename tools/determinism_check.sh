@@ -196,6 +196,44 @@ else
   echo "determinism_check: autoscale phase skipped ($BENCH_AUTOSCALE not built)"
 fi
 
+# Prefix-tier phase (when the bench is built): block publication, LRU
+# eviction, directory lookups, and the stream-vs-recompute settlement all
+# run on simulator state and seeded RNG only — so bench_prefix must write
+# byte-identical BENCH_prefix.json files on rerun at every seed, and the
+# default-seed run must hold the headline claim (affinity routing beats
+# prefix-blind serving wherever >= 30% of prefill is shareable).
+BENCH_PREFIX="$(cd "$BUILD_DIR" && pwd)/bench/bench_prefix"
+if [ -x "$BENCH_PREFIX" ]; then
+  for seed in "${SEEDS[@]}"; do
+    for run in 1 2; do
+      mkdir -p "$WORK/prefix-$seed-$run"
+      ( cd "$WORK/prefix-$seed-$run" &&
+        "$BENCH_PREFIX" --quick --seed "$seed" > stdout.txt 2>&1 )
+    done
+    if ! cmp -s "$WORK/prefix-$seed-1/BENCH_prefix.json" \
+                "$WORK/prefix-$seed-2/BENCH_prefix.json"; then
+      echo "determinism_check: FAIL seed=$seed prefix JSON differs between reruns" >&2
+      diff "$WORK/prefix-$seed-1/BENCH_prefix.json" \
+           "$WORK/prefix-$seed-2/BENCH_prefix.json" | head -10 >&2 || true
+      FAIL=1
+    else
+      echo "determinism_check: seed=$seed prefix OK (rerun byte-identical)"
+    fi
+  done
+  mkdir -p "$WORK/prefix-default"
+  ( cd "$WORK/prefix-default" &&
+    "$BENCH_PREFIX" --quick > stdout.txt 2>&1 )
+  if ! grep -q "prefix verdict: affinity PASSES" \
+       "$WORK/prefix-default/stdout.txt"; then
+    echo "determinism_check: FAIL prefix verdict not PASSES" >&2
+    FAIL=1
+  elif [ "$FAIL" -eq 0 ]; then
+    echo "determinism_check: prefix OK (verdict PASSES)"
+  fi
+else
+  echo "determinism_check: prefix phase skipped ($BENCH_PREFIX not built)"
+fi
+
 # Strong-units phase (when the dimension-checked build exists): the
 # HERO_STRONG_UNITS build swaps the Time/Bytes/... aliases for Quantity<>
 # wrappers, which must perform the identical double operations in the
